@@ -1,0 +1,122 @@
+"""Ablation — the hashing design space (paper §III-B, §V-C).
+
+Compares the two-layer weighted HRW scheme MemFSS uses against the
+alternatives the paper discusses:
+
+- a consistent-hashing ring with weighted virtual nodes (the MemFS
+  lineage and the §V-C comparison): needs many vnodes per node to
+  approximate a target split, i.e. many Redis processes in practice;
+- flat (single-layer) HRW over all nodes: uniform, cannot express the
+  own/victim split at all.
+
+Measured: (a) achieved own-class data fraction, (b) load balance within
+the victim class (coefficient of variation), (c) minimal disruption when
+one victim leaves, (d) placement decision throughput (this part uses
+pytest-benchmark timing for real).
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.fs import ClassSpec, PlacementPolicy
+from repro.hashing import (ConsistentHashRing, HrwHasher, own_victim_weights,
+                           stable_digest)
+from repro.metrics import render_table
+
+OWN = [f"own{i}" for i in range(8)]
+VICTIMS = [f"vic{i}" for i in range(32)]
+KEYS = [("stripe", i, j) for i in range(2000) for j in range(4)]
+ALPHA = 0.25
+
+
+def build_two_layer():
+    w = own_victim_weights(ALPHA)
+    return PlacementPolicy({
+        "own": ClassSpec(w["own"], tuple(OWN)),
+        "victim": ClassSpec(w["victim"], tuple(VICTIMS)),
+    })
+
+
+def build_ring():
+    weights = {n: 1.0 for n in VICTIMS}
+    # Own nodes must jointly take ALPHA of the data: with 8 own vs 32
+    # victim nodes, each own node weighs (ALPHA/8)/((1-ALPHA)/32) = 4/3.
+    own_w = (ALPHA / len(OWN)) / ((1 - ALPHA) / len(VICTIMS))
+    weights.update({n: own_w for n in OWN})
+    return ConsistentHashRing(OWN + VICTIMS, vnodes=96, weights=weights)
+
+
+def placement_stats(place):
+    counts = {}
+    for k in KEYS:
+        counts[place(k)] = counts.get(place(k), 0) + 1
+    own_frac = sum(counts.get(n, 0) for n in OWN) / len(KEYS)
+    vic_loads = [counts.get(n, 0) for n in VICTIMS]
+    cv = statistics.pstdev(vic_loads) / statistics.mean(vic_loads) \
+        if statistics.mean(vic_loads) else float("inf")
+    return own_frac, cv
+
+
+def disruption(place_before, place_after, removed):
+    moved = sum(1 for k in KEYS if place_before(k) != place_after(k))
+    held = sum(1 for k in KEYS if place_before(k) == removed)
+    return moved, held
+
+
+def test_ablation_hashing_balance_and_disruption(benchmark):
+    two = build_two_layer()
+    ring = build_ring()
+    flat = HrwHasher(OWN + VICTIMS)
+
+    results = {}
+    results["two-layer HRW"] = placement_stats(two.place)
+    results["weighted ring"] = placement_stats(ring.place)
+    results["flat HRW"] = placement_stats(flat.place)
+
+    # Disruption: remove one victim node.
+    removed = VICTIMS[0]
+    two_after = two.without_node(removed)
+    moved_two, held_two = disruption(two.place, two_after.place, removed)
+    ring_after = build_ring()
+    ring_after.remove_node(removed)
+    moved_ring, held_ring = disruption(ring.place, ring_after.place, removed)
+
+    # Decision throughput (placements/s) for the paper's scheme.
+    digests = np.array([stable_digest(k) for k in KEYS], dtype=np.uint64)
+
+    def place_all():
+        return two.place(KEYS[0])
+
+    benchmark(place_all)
+
+    rows = [[name, f"{frac * 100:.1f}%", f"{cv:.3f}"]
+            for name, (frac, cv) in results.items()]
+    print()
+    print(render_table(["scheme", "own-class share (target 25%)",
+                        "victim balance CV"], rows,
+                       title="Hashing ablation: balance"))
+    print(f"disruption on 1 victim removal: two-layer moved {moved_two} "
+          f"(held {held_two}); ring moved {moved_ring} (held {held_ring}); "
+          f"keys total {len(KEYS)}")
+
+    # Two-layer HRW hits the target split; flat HRW cannot.
+    assert results["two-layer HRW"][0] == pytest.approx(ALPHA, abs=0.03)
+    assert results["flat HRW"][0] == pytest.approx(8 / 40, abs=0.03)
+    # Balanced within the class.
+    assert results["two-layer HRW"][1] < 0.25
+    # Minimal disruption: only keys held by the removed node move.
+    assert moved_two == held_two
+    # The ring, with finite vnodes, is no better (and needs the vnodes).
+    assert moved_ring >= held_ring
+
+
+def test_ablation_hashing_throughput_batch(benchmark):
+    """Vectorized placement: the O(n)-per-key HRW decision at bulk rate."""
+    two = build_two_layer()
+    digests = np.array([stable_digest(k) for k in KEYS], dtype=np.uint64)
+    layer1 = two._layer1
+
+    result = benchmark(lambda: layer1.choose_batch(digests))
+    assert len(result) == len(KEYS)

@@ -1,0 +1,45 @@
+"""Fig. 7 — normalized runtime and resource consumption (paper §IV-D).
+
+The Table II points normalized against the 20-node standalone run: as the
+number of own nodes grows, normalized runtime approaches 1.0 from above
+and normalized node-hours (the savings) approach 1.0 from below.
+"""
+
+import pytest
+
+from repro.metrics import render_bars, render_table
+
+from bench_table2_consumption import run_consumption
+
+
+def test_fig7_normalized(benchmark):
+    data = benchmark.pedantic(run_consumption, rounds=1, iterations=1)
+    points = {p["label"]: p for p in data["points"]}
+    base = points["standalone-20"]
+
+    rows = []
+    series = {}
+    for n in (4, 8, 16):
+        p = points[f"scavenging-{n}"]
+        nr = p["runtime_s"] / base["runtime_s"]
+        nh = p["node_hours"] / base["node_hours"]
+        rows.append([f"{n} own + {40 - n} victims",
+                     f"{nr:.3f}", f"{nh:.3f}"])
+        series[f"runtime n={n}"] = nr
+        series[f"node-hours n={n}"] = nh
+    rows.append(["20 standalone", "1.000", "1.000"])
+    print()
+    print(render_table(["setup", "normalized runtime",
+                        "normalized node-hours"], rows,
+                       title="Fig. 7: normalized vs. 20-node standalone"))
+    print(render_bars(series, unit="x", title="Fig. 7 series"))
+
+    norm_rt = [points[f"scavenging-{n}"]["runtime_s"] / base["runtime_s"]
+               for n in (4, 8, 16)]
+    norm_nh = [points[f"scavenging-{n}"]["node_hours"] / base["node_hours"]
+               for n in (4, 8, 16)]
+    # Runtime decreases toward 1.0 as own nodes grow (wave quantization
+    # lets the 16-own point graze 1.0 from below at this scale).
+    assert norm_rt[0] > norm_rt[1] >= norm_rt[2] >= 0.98
+    # Node-hours increase toward 1.0 as own nodes grow; stay below 1.0.
+    assert norm_nh[0] < norm_nh[1] < norm_nh[2] < 1.0

@@ -1,0 +1,15 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517`` (and the
+fallback inside ``pip install -e .`` on older pips) use the classic
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+# Older setuptools' develop mode does not materialize [project.scripts]
+# from pyproject.toml, so the console script is repeated here.
+setup(entry_points={
+    "console_scripts": ["memfss = repro.cli:main"],
+})

@@ -1,0 +1,157 @@
+"""Command-line entry point: run any of the paper's experiments.
+
+::
+
+    memfss fig2   [--tasks 256]
+    memfss fig3   [--alpha 0.25] [--workload dd]
+    memfss fig4   [--alpha 0.25] [--workload dd]
+    memfss fig5   [--workload dd]
+    memfss table2 [--scale 8]
+    memfss table1
+
+Each command prints the corresponding table or series as text.  The
+benchmark suite under ``benchmarks/`` runs the same experiments with
+shape assertions and result caching; the CLI is the quick interactive way
+to poke at one scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (DeploymentConfig, MemFSSDeployment, baseline_sweep,
+                   normalized, run_scavenging, run_standalone)
+from .core.slowdown import BackgroundWorkload, _run_suite
+from .data import TABLE_I
+from .metrics import render_table
+from .tenants import hibench_hadoop_suite, hibench_spark_suite, hpcc_suite
+from .units import GB, MB
+from .workflows import MONTAGE_PAPER_WIDTH, blast, dd_bag, montage
+
+WORKLOADS = {
+    "montage": lambda i: montage(width=96, compute_scale=0.02,
+                                 parallel_task_scale=2.0),
+    "blast": lambda i: blast(n_searches=256, split_seconds=10.0,
+                             search_seconds=60.0),
+    "dd": lambda i: dd_bag(n_tasks=128, file_size=128 * MB),
+}
+
+
+def cmd_table1(_args) -> int:
+    rows = [[r.study,
+             "N/A" if r.cpu == (None, None) else f"<= {r.cpu[1] * 100:.0f}%",
+             "N/A" if r.memory == (None, None)
+             else f"<= {r.memory[1] * 100:.0f}%",
+             "N/A" if r.network == (None, None)
+             else f"<= {r.network[1] * 100:.0f}%",
+             r.note]
+            for r in TABLE_I]
+    print(render_table(["Study", "CPU", "Memory", "Network", "Note"], rows,
+                       title="Table I (survey data)"))
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    metrics = baseline_sweep(n_tasks=args.tasks, file_size=128 * MB)
+    rows = [[f"{m.alpha * 100:.0f}%", f"{m.runtime_s:.2f} s",
+             f"{m.own_cpu * 100:.1f}%", f"{m.victim_cpu * 100:.2f}%",
+             f"{m.victim_rx_bytes_s / MB:.0f} MB/s"]
+            for m in metrics]
+    print(render_table(["alpha", "runtime", "own CPU", "victim CPU",
+                        "victim ingest"], rows,
+                       title=f"Fig. 2 baseline ({args.tasks} dd tasks)"))
+    return 0
+
+
+def _slowdown(args, suite_builder, title: str) -> int:
+    config = DeploymentConfig(alpha=args.alpha)
+    base = MemFSSDeployment(config)
+    baseline = _run_suite(base, suite_builder(len(base.victims)))
+    loaded_dep = MemFSSDeployment(config)
+    bg = BackgroundWorkload(loaded_dep, WORKLOADS[args.workload])
+    bg.start()
+    loaded_dep.env.run(until=loaded_dep.env.now + 45.0)
+    loaded = _run_suite(loaded_dep, suite_builder(len(loaded_dep.victims)))
+    bg.stop()
+    rows = [[b, f"{baseline[b]:.1f} s", f"{loaded[b]:.1f} s",
+             f"{(loaded[b] / baseline[b] - 1) * 100:.2f}%"]
+            for b in baseline]
+    print(render_table(["benchmark", "baseline", "scavenged", "slowdown"],
+                       rows, title=title))
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    return _slowdown(args, lambda n: hpcc_suite(0.5),
+                     f"Fig. 3: HPCC under {args.workload}, "
+                     f"alpha={args.alpha}")
+
+
+def cmd_fig4(args) -> int:
+    return _slowdown(args, hibench_hadoop_suite,
+                     f"Fig. 4: HiBench Hadoop under {args.workload}, "
+                     f"alpha={args.alpha}")
+
+
+def cmd_fig5(args) -> int:
+    args.alpha = 0.5
+    return _slowdown(args, hibench_spark_suite,
+                     f"Fig. 5: HiBench Spark under {args.workload}, "
+                     "alpha=0.5")
+
+
+def cmd_table2(args) -> int:
+    scale = args.scale
+    width = MONTAGE_PAPER_WIDTH // scale
+    wf = lambda: montage(width=width, parallel_task_scale=float(scale))
+    own_cap = 60 * GB / scale
+    vic_mem = 28 * GB / scale
+    points = [run_standalone(wf(), n_nodes=20, store_capacity=own_cap),
+              run_standalone(wf(), n_nodes=19, store_capacity=own_cap)]
+    for n in (4, 8, 16):
+        points.append(run_scavenging(wf(), n_own=n, n_victim=40 - n,
+                                     victim_memory=vic_mem,
+                                     own_store_capacity=own_cap))
+    rows = []
+    for p in points:
+        if not p.fits:
+            rows.append([p.label, str(p.n_nodes), "unable to run", "-"])
+        else:
+            rows.append([p.label, str(p.n_nodes), f"{p.runtime_s:.0f} s",
+                         f"{p.node_hours:.2f}"])
+    print(render_table(["run", "own nodes", "runtime", "node-hours"], rows,
+                       title=f"Table II (data scale 1/{scale})"))
+    base = points[0]
+    for row in normalized([p for p in points if p.fits], base):
+        print(f"  {row['label']}: runtime x{row['norm_runtime']:.3f}, "
+              f"node-hours x{row['norm_node_hours']:.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="memfss", description="MemFSS paper-reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table I survey")
+    p2 = sub.add_parser("fig2", help="dd-bag baseline sweep")
+    p2.add_argument("--tasks", type=int, default=256)
+    for name in ("fig3", "fig4", "fig5"):
+        p = sub.add_parser(name, help=f"{name} slowdown experiment")
+        if name != "fig5":
+            p.add_argument("--alpha", type=float, default=0.25)
+        p.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="dd")
+    pt = sub.add_parser("table2", help="Montage consumption experiment")
+    pt.add_argument("--scale", type=int, default=8,
+                    help="data down-scale factor (default 8)")
+
+    args = parser.parse_args(argv)
+    handlers = {"table1": cmd_table1, "fig2": cmd_fig2, "fig3": cmd_fig3,
+                "fig4": cmd_fig4, "fig5": cmd_fig5, "table2": cmd_table2}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

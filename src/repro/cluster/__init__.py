@@ -1,0 +1,18 @@
+"""Cluster substrate: machines, fabric, containers, reservations."""
+
+from .machine import DAS5, MachineSpec
+from .node import Node, OutOfMemory
+from .network import Fabric
+from .container import CapExceeded, Container, ResourceCaps
+from .reservation import (InsufficientNodes, Reservation, ReservationSystem,
+                          ScavengeLease, ScavengeOffer)
+from .monitord import MemoryPressureMonitor
+from .cluster import Cluster, build_das5
+
+__all__ = [
+    "DAS5", "MachineSpec", "Node", "OutOfMemory", "Fabric",
+    "Container", "ResourceCaps", "CapExceeded",
+    "ReservationSystem", "Reservation", "ScavengeOffer", "ScavengeLease",
+    "InsufficientNodes", "MemoryPressureMonitor",
+    "Cluster", "build_das5",
+]

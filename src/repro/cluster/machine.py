@@ -1,0 +1,63 @@
+"""DAS-5 machine model constants (paper §IV-A).
+
+Each DAS-5 node has dual 8-core Intel E5-2630v3 CPUs (two hyperthreads per
+core → 32 scheduling slots), 64 GB of memory, and 54 Gbps FDR InfiniBand.
+The NIC carries two traffic classes at different achievable rates: native
+verbs (MPI) sustains ~6 GB/s of the 6.75 GB/s raw link, while the TCP
+stack over IPoIB — the store's data path, §IV-A — tops out around 3 GB/s.
+Both classes share the same physical link, so a saturated store still
+takes bandwidth away from MPI, but a single store stream can never claim
+more than the IPoIB ceiling.
+
+The remaining constants are not stated in the paper and come from the
+hardware's public specifications:
+
+- memory bandwidth: E5-2630v3 is quad-channel DDR4-1866 → ~59 GB/s peak per
+  socket pair; ~48 GB/s is a realistic STREAM-sustained figure;
+- local disk: DAS-5 nodes have a single SATA HDD, ~150 MB/s sequential;
+- OS + services footprint: ~4 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GB, MB
+
+__all__ = ["MachineSpec", "DAS5"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static hardware description of one cluster node."""
+
+    cores: int                 # logical cores (hyperthreads count)
+    memory: float              # bytes of RAM
+    nic_bandwidth: float       # bytes/s per NIC direction (native verbs)
+    ipoib_bandwidth: float     # bytes/s ceiling of one TCP/IPoIB stream
+    memory_bandwidth: float    # bytes/s sustained
+    disk_bandwidth: float      # bytes/s sequential
+    nic_latency: float         # seconds, one-way small-message latency
+    os_reserved: float         # bytes kept by OS + node services
+
+    def __post_init__(self):
+        for field in ("cores", "memory", "nic_bandwidth", "ipoib_bandwidth",
+                      "memory_bandwidth", "disk_bandwidth"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.ipoib_bandwidth > self.nic_bandwidth:
+            raise ValueError("ipoib_bandwidth cannot exceed nic_bandwidth")
+        if self.os_reserved < 0 or self.os_reserved >= self.memory:
+            raise ValueError("os_reserved must be in [0, memory)")
+
+
+DAS5 = MachineSpec(
+    cores=32,
+    memory=64 * GB,
+    nic_bandwidth=6 * GB,
+    ipoib_bandwidth=3 * GB,
+    memory_bandwidth=48 * GB,
+    disk_bandwidth=150 * MB,
+    nic_latency=2e-6,          # FDR InfiniBand ~2 us one way
+    os_reserved=4 * GB,
+)

@@ -1,0 +1,50 @@
+"""Per-node memory-pressure monitor.
+
+Paper §III-A (admin-enforced mechanism): *"whenever the tenant applications
+would need more memory, a monitoring process would send a signal to MemFSS
+to free its memory and remove itself from that node."*
+
+:class:`MemoryPressureMonitor` samples a node's free memory at a fixed
+interval; when it drops below a threshold it asks the reservation system to
+revoke all scavenge leases on the node.  The MemFSS scavenger reacts to the
+revocation event by re-hashing the node's class out of the placement and
+migrating its stripes (see :mod:`repro.fs.scavenger`).
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment
+from .node import Node
+from .reservation import ReservationSystem
+
+__all__ = ["MemoryPressureMonitor"]
+
+
+class MemoryPressureMonitor:
+    """Signals lease revocation when a node's free memory runs low."""
+
+    def __init__(self, env: Environment, node: Node,
+                 system: ReservationSystem, threshold: float,
+                 interval: float = 1.0):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.node = node
+        self.system = system
+        self.threshold = float(threshold)
+        self.interval = float(interval)
+        self.revocations = 0
+        self._stopped = False
+        self._process = env.process(self._run(), name=f"monitord@{node.name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            if self.node.memory_free < self.threshold:
+                hit = self.system.revoke_leases(self.node, cause="pressure")
+                self.revocations += hit
+            yield self.env.timeout(self.interval)

@@ -1,0 +1,106 @@
+"""The cluster fabric: full-bisection network connecting node NICs.
+
+DAS-5's FDR InfiniBand core is non-blocking for 40 nodes, so only the node
+NICs constrain transfers (paper §IV-A).  A :class:`Fabric` wires each
+:class:`~repro.cluster.node.Node` with an egress (tx) and ingress (rx) link
+in a shared :class:`~repro.sim.flownet.FlowNetwork`; a transfer between two
+nodes crosses ``src.tx`` and ``dst.rx`` and shares them max-min fairly with
+everything else.  Same-node transfers cross a per-node loopback link sized
+at the memory bandwidth (a local Redis PUT is a memcpy, not a NIC crossing).
+
+Small-message latency is modeled additively: a request costs
+``nic_latency × hops`` before its payload flow starts; the latency
+*inflation* caused by a busy scavenger store is handled by the store server
+(see :mod:`repro.store.server`), which is where the paper locates the
+BLAST-vs-dd asymmetry of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..sim import Environment, FlowNetwork
+from ..sim.flownet import Link, NetFlow
+from .node import Node
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Owns the flow network and the per-node NIC + loopback links."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.net = FlowNetwork(env)
+        self._loopback: dict[str, Link] = {}
+        self._nodes: dict[str, Node] = {}
+
+    def attach(self, node: Node) -> None:
+        """Create tx/rx/loopback/IPoIB links for *node* and register it.
+
+        Two transport classes share the physical NIC: native verbs (MPI)
+        sees only the tx/rx links; TCP traffic (the store's data path,
+        Hadoop/Spark shuffles) additionally crosses per-node IPoIB links
+        whose ~3 GB/s ceiling models the TCP-over-IB stack.  TCP flows
+        therefore contend with each other inside the IPoIB budget *and*
+        take physical bandwidth away from verbs traffic.
+        """
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name!r} already attached")
+        node.tx = self.net.add_link(f"{node.name}.tx", node.spec.nic_bandwidth)
+        node.rx = self.net.add_link(f"{node.name}.rx", node.spec.nic_bandwidth)
+        self._ipoib_tx = getattr(self, "_ipoib_tx", {})
+        self._ipoib_rx = getattr(self, "_ipoib_rx", {})
+        self._ipoib_tx[node.name] = self.net.add_link(
+            f"{node.name}.itx", node.spec.ipoib_bandwidth)
+        self._ipoib_rx[node.name] = self.net.add_link(
+            f"{node.name}.irx", node.spec.ipoib_bandwidth)
+        self._loopback[node.name] = self.net.add_link(
+            f"{node.name}.lo", node.spec.memory_bandwidth)
+        self._nodes[node.name] = node
+
+    def attach_all(self, nodes: Iterable[Node]) -> None:
+        for n in nodes:
+            self.attach(n)
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    # -- transfers -------------------------------------------------------------
+    def path(self, src: Node, dst: Node,
+             transport: str = "verbs") -> tuple[Link, ...]:
+        if src.name not in self._nodes or dst.name not in self._nodes:
+            raise ValueError("both endpoints must be attached to this fabric")
+        if src.name == dst.name:
+            return (self._loopback[src.name],)
+        assert src.tx is not None and dst.rx is not None
+        if transport == "verbs":
+            return (src.tx, dst.rx)
+        if transport == "tcp":
+            return (self._ipoib_tx[src.name], src.tx,
+                    dst.rx, self._ipoib_rx[dst.name])
+        raise ValueError(f"unknown transport {transport!r}")
+
+    def transfer(self, src: Node, dst: Node, nbytes: float | None,
+                 cap: float = float("inf"), label: str = "",
+                 transport: str = "verbs") -> NetFlow:
+        """Start a byte flow from *src* to *dst*; wait on ``.done``."""
+        return self.net.transfer(self.path(src, dst, transport), nbytes,
+                                 cap, label)
+
+    def consume(self, src: Node, dst: Node, nbytes: float,
+                cap: float = float("inf"), label: str = "",
+                transport: str = "verbs"):
+        """``yield from``-able transfer that withdraws itself on interrupt."""
+        return self.net.consume(self.path(src, dst, transport), nbytes,
+                                cap, label)
+
+    def latency(self, src: Node, dst: Node) -> float:
+        """One-way small-message latency between two nodes."""
+        if src.name == dst.name:
+            return 0.0
+        return max(src.spec.nic_latency, dst.spec.nic_latency)

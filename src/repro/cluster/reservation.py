@@ -1,0 +1,218 @@
+"""Cluster reservation system with a secondary scavenging queue.
+
+Paper §III-A proposes two victim-selection mechanisms, both implemented
+here as minor extensions of an ordinary space-sharing reservation system:
+
+1. **Voluntary** — users register their reserved nodes on a *secondary
+   queue* together with the amount of memory MemFSS may use there.
+2. **Admin-enforced** — the administrator registers every reserved node
+   with a fixed cap (the paper's example: 10 GB), and a monitoring process
+   (:mod:`repro.cluster.monitord`) signals MemFSS to free its memory and
+   leave whenever the tenant needs the memory back.
+
+A :class:`ScavengeLease` is MemFSS's claim on one offer; revoking it fires
+``lease.revoked`` which the scavenger subscribes to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+from typing import Any
+
+from ..sim import Environment, Event
+from .node import Node
+
+__all__ = [
+    "Reservation",
+    "ScavengeOffer",
+    "ScavengeLease",
+    "ReservationSystem",
+    "InsufficientNodes",
+]
+
+
+class InsufficientNodes(RuntimeError):
+    """An immediate reservation could not be satisfied."""
+
+
+class Reservation:
+    """A set of nodes granted to one user, with node-hours accounting."""
+
+    def __init__(self, env: Environment, rid: int, user: str,
+                 nodes: list[Node]):
+        self.env = env
+        self.id = rid
+        self.user = user
+        self.nodes = list(nodes)
+        self.start_time = env.now
+        self.end_time: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.end_time is None
+
+    @property
+    def node_seconds(self) -> float:
+        end = self.end_time if self.end_time is not None else self.env.now
+        return len(self.nodes) * (end - self.start_time)
+
+    @property
+    def node_hours(self) -> float:
+        return self.node_seconds / 3600.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Reservation #{self.id} {self.user} "
+                f"{len(self.nodes)} nodes>")
+
+
+class ScavengeOffer:
+    """One node registered on the secondary queue."""
+
+    def __init__(self, node: Node, max_memory: float, voluntary: bool,
+                 owner: str):
+        if max_memory <= 0:
+            raise ValueError("max_memory must be positive")
+        self.node = node
+        self.max_memory = float(max_memory)
+        self.voluntary = voluntary
+        self.owner = owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "voluntary" if self.voluntary else "enforced"
+        return f"<ScavengeOffer {self.node.name} {kind} {self.max_memory:.3g}B>"
+
+
+class ScavengeLease:
+    """MemFSS's active claim on a scavenge offer.
+
+    ``revoked`` triggers when the node must be vacated (tenant memory
+    pressure, or the offer being withdrawn).
+    """
+
+    def __init__(self, env: Environment, offer: ScavengeOffer,
+                 memory: float, holder: str):
+        self.env = env
+        self.offer = offer
+        self.memory = float(memory)
+        self.holder = holder
+        self.revoked: Event = env.event()
+        self.granted_at = env.now
+
+    @property
+    def node(self) -> Node:
+        return self.offer.node
+
+    @property
+    def active(self) -> bool:
+        return not self.revoked.triggered
+
+    def revoke(self, cause: Any = "revoked") -> None:
+        if not self.revoked.triggered:
+            self.revoked.succeed(cause)
+
+
+class ReservationSystem:
+    """Space-sharing node allocator plus the secondary scavenging queue."""
+
+    def __init__(self, env: Environment, nodes: Iterable[Node]):
+        self.env = env
+        self._free: list[Node] = list(nodes)
+        names = [n.name for n in self._free]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names")
+        self._reservations: dict[int, Reservation] = {}
+        self._offers: dict[str, ScavengeOffer] = {}
+        self._leases: list[ScavengeLease] = []
+        self._ids = itertools.count(1)
+        self.enforced_cap: float | None = None
+
+    # -- primary queue -----------------------------------------------------------
+    @property
+    def free_nodes(self) -> tuple[Node, ...]:
+        return tuple(self._free)
+
+    @property
+    def reservations(self) -> tuple[Reservation, ...]:
+        return tuple(self._reservations.values())
+
+    def reserve(self, user: str, count: int) -> Reservation:
+        """Immediately grant *count* nodes or raise :class:`InsufficientNodes`."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > len(self._free):
+            raise InsufficientNodes(
+                f"{user!r} wants {count} nodes, {len(self._free)} free")
+        granted, self._free = self._free[:count], self._free[count:]
+        res = Reservation(self.env, next(self._ids), user, granted)
+        self._reservations[res.id] = res
+        # Admin-enforced policy: new reservations are auto-registered.
+        if self.enforced_cap is not None:
+            for node in granted:
+                self._offers[node.name] = ScavengeOffer(
+                    node, self.enforced_cap, voluntary=False, owner=user)
+        return res
+
+    def release(self, reservation: Reservation) -> None:
+        if reservation.id not in self._reservations:
+            raise KeyError(f"unknown reservation {reservation.id}")
+        reservation.end_time = self.env.now
+        del self._reservations[reservation.id]
+        for node in reservation.nodes:
+            # A released node leaves the secondary queue and loses leases.
+            self.withdraw_offer(node, cause="reservation released")
+            self._free.append(node)
+
+    # -- secondary (scavenging) queue ---------------------------------------------
+    def register_offer(self, node: Node, max_memory: float,
+                       owner: str = "", voluntary: bool = True) -> ScavengeOffer:
+        """Voluntary registration of a reserved node (§III-A mechanism 1)."""
+        offer = ScavengeOffer(node, max_memory, voluntary, owner)
+        self._offers[node.name] = offer
+        return offer
+
+    def enforce_scavenging(self, cap: float) -> None:
+        """Admin policy (§III-A mechanism 2): every node of every current and
+        future reservation is registered with *cap* bytes."""
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.enforced_cap = float(cap)
+        for res in self._reservations.values():
+            for node in res.nodes:
+                self._offers.setdefault(
+                    node.name,
+                    ScavengeOffer(node, cap, voluntary=False, owner=res.user))
+
+    def offers(self) -> tuple[ScavengeOffer, ...]:
+        return tuple(self._offers.values())
+
+    def withdraw_offer(self, node: Node, cause: Any = "withdrawn") -> None:
+        self._offers.pop(node.name, None)
+        for lease in [l for l in self._leases if l.node is node]:
+            lease.revoke(cause)
+            self._leases.remove(lease)
+
+    def lease(self, node: Node, memory: float, holder: str) -> ScavengeLease:
+        """Claim up to the offered memory on *node*."""
+        offer = self._offers.get(node.name)
+        if offer is None:
+            raise KeyError(f"{node.name} is not on the secondary queue")
+        if memory > offer.max_memory:
+            raise ValueError(
+                f"{memory:.3g} B exceeds the {offer.max_memory:.3g} B offer "
+                f"on {node.name}")
+        lease = ScavengeLease(self.env, offer, memory, holder)
+        self._leases.append(lease)
+        return lease
+
+    def active_leases(self) -> tuple[ScavengeLease, ...]:
+        return tuple(l for l in self._leases if l.active)
+
+    def revoke_leases(self, node: Node, cause: Any = "pressure") -> int:
+        """Revoke every active lease on *node* (monitord hook)."""
+        hit = 0
+        for lease in [l for l in self._leases if l.node is node and l.active]:
+            lease.revoke(cause)
+            self._leases.remove(lease)
+            hit += 1
+        return hit

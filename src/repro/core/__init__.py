@@ -1,0 +1,18 @@
+"""The paper's experiments, wired: deployments, slowdowns, consumption."""
+
+from .deployment import DeploymentConfig, MemFSSDeployment
+from .experiment import (FIG2_ALPHAS, BaselineMetrics, baseline_run,
+                         baseline_sweep)
+from .slowdown import (BackgroundWorkload, SlowdownResult, average_slowdown,
+                       measure_slowdowns)
+from .consumption import (ConsumptionPoint, footprint_of, normalized,
+                          run_scavenging, run_standalone)
+
+__all__ = [
+    "DeploymentConfig", "MemFSSDeployment",
+    "BaselineMetrics", "baseline_run", "baseline_sweep", "FIG2_ALPHAS",
+    "SlowdownResult", "measure_slowdowns", "average_slowdown",
+    "BackgroundWorkload",
+    "ConsumptionPoint", "run_standalone", "run_scavenging", "footprint_of",
+    "normalized",
+]

@@ -1,0 +1,142 @@
+"""Resource-consumption experiment (paper §IV-D, Table II and Fig. 7).
+
+Compares a *standalone* MemFS run — enough nodes reserved that the whole
+data footprint fits in their memory — against *scavenging* MemFSS runs
+with a handful of own nodes and victim memory making up the difference.
+Node-hours count only the nodes the user reserves (the victims belong to
+other tenants; that is the whole point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import build_das5
+from ..fs import build_memfs
+from ..store import StoreServer
+from ..units import GB
+from ..workflows import Workflow, WorkflowEngine
+from .deployment import DeploymentConfig, MemFSSDeployment
+
+__all__ = ["ConsumptionPoint", "run_standalone", "run_scavenging",
+           "footprint_of", "normalized"]
+
+
+@dataclass
+class ConsumptionPoint:
+    """One Table II row."""
+
+    label: str
+    n_nodes: int            # nodes the user reserves (own nodes)
+    fits: bool
+    runtime_s: float = float("nan")
+    node_hours: float = float("nan")
+
+    def normalized_against(self, base: "ConsumptionPoint",
+                           ) -> tuple[float, float]:
+        """(normalized runtime, normalized node-hours) vs. *base* (Fig. 7)."""
+        return (self.runtime_s / base.runtime_s,
+                self.node_hours / base.node_hours)
+
+
+def footprint_of(workflow: Workflow, key_overhead: float = 4096.0) -> float:
+    """The no-GC data footprint: staged inputs + everything written.
+
+    *key_overhead* is a per-file allowance for stripe/metadata overheads.
+    """
+    staged = {}
+    for t in workflow.tasks.values():
+        for f in t.inputs:
+            if workflow.producer_of(f.path) is None:
+                staged[f.path] = f.nbytes
+    n_files = len(staged) + sum(len(t.outputs)
+                                for t in workflow.tasks.values())
+    return (sum(staged.values()) + workflow.total_output_bytes
+            + n_files * key_overhead)
+
+
+#: Placement is balanced but not perfect: a deployment needs this much
+#: aggregate slack over the raw footprint to be safe per node.
+IMBALANCE_HEADROOM = 0.08
+
+
+def run_standalone(workflow: Workflow, n_nodes: int,
+                   store_capacity: float = 56 * GB,
+                   stripe_size: int = 32 * 1024 * 1024,
+                   seed: int = 0) -> ConsumptionPoint:
+    """Uniform MemFS on *n_nodes* (tasks + data everywhere), no GC.
+
+    If the workflow's footprint (plus the imbalance headroom) exceeds the
+    aggregate memory, the row is Table II's "Unable to run, data does not
+    fit".
+    """
+    need = footprint_of(workflow) * (1 + IMBALANCE_HEADROOM)
+    if need > n_nodes * store_capacity:
+        return ConsumptionPoint(label=f"standalone-{n_nodes}",
+                                n_nodes=n_nodes, fits=False)
+    cluster = build_das5(n_nodes=n_nodes, seed=seed)
+    env = cluster.env
+    nodes = list(cluster.nodes)
+    servers = {n.name: StoreServer(env, n, cluster.fabric,
+                                   capacity=store_capacity,
+                                   name=f"own@{n.name}")
+               for n in nodes}
+    fs = build_memfs(env, cluster.fabric, nodes, servers,
+                     stripe_size=stripe_size, write_window=2)
+    engine = WorkflowEngine(env, fs, gc_intermediates=False)
+    result = engine.execute(workflow)
+    return ConsumptionPoint(
+        label=f"standalone-{n_nodes}", n_nodes=n_nodes, fits=True,
+        runtime_s=result.makespan,
+        node_hours=n_nodes * result.makespan / 3600.0)
+
+
+def run_scavenging(workflow: Workflow, n_own: int, n_victim: int,
+                   victim_memory: float,
+                   own_store_capacity: float = 56 * GB,
+                   alpha: float | None = None,
+                   stripe_size: int = 32 * 1024 * 1024,
+                   seed: int = 0) -> ConsumptionPoint:
+    """MemFSS with *n_own* own nodes scavenging *n_victim* victims, no GC.
+
+    α defaults to the capacity-proportional split (each node class holds
+    data in proportion to what it can store), the balanced choice §IV-B
+    motivates.
+    """
+    own_cap = n_own * own_store_capacity
+    victim_cap = n_victim * victim_memory
+    need = footprint_of(workflow) * (1 + IMBALANCE_HEADROOM)
+    if need > own_cap + victim_cap:
+        return ConsumptionPoint(label=f"scavenging-{n_own}",
+                                n_nodes=n_own, fits=False)
+    if alpha is None:
+        alpha = own_cap / (own_cap + victim_cap)
+    config = DeploymentConfig(
+        n_own=n_own, n_victim=n_victim, alpha=alpha,
+        victim_memory=victim_memory,
+        own_store_capacity=own_store_capacity,
+        stripe_size=stripe_size, seed=seed)
+    deployment = MemFSSDeployment(config)
+    engine = WorkflowEngine(deployment.env, deployment.fs,
+                            gc_intermediates=False)
+    result = engine.execute(workflow)
+    return ConsumptionPoint(
+        label=f"scavenging-{n_own}", n_nodes=n_own, fits=True,
+        runtime_s=result.makespan,
+        node_hours=n_own * result.makespan / 3600.0)
+
+
+def normalized(points: list[ConsumptionPoint], base: ConsumptionPoint,
+               ) -> list[dict]:
+    """Fig. 7 rows: normalized runtime and node-hours per point."""
+    rows = []
+    for p in points:
+        if not p.fits:
+            rows.append({"label": p.label, "n_nodes": p.n_nodes,
+                         "fits": False})
+            continue
+        nr, nh = p.normalized_against(base)
+        rows.append({"label": p.label, "n_nodes": p.n_nodes, "fits": True,
+                     "runtime_s": p.runtime_s, "node_hours": p.node_hours,
+                     "norm_runtime": nr, "norm_node_hours": nh})
+    return rows

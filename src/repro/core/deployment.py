@@ -1,0 +1,123 @@
+"""MemFSS deployment assembly (the paper's experimental setup, §IV-A).
+
+A :class:`MemFSSDeployment` wires one experiment's worth of system:
+a DAS-5-like cluster, an *own* reservation running MemFSS + tasks, a
+*tenant* reservation whose nodes are registered on the secondary queue,
+containerized victim stores claimed through the
+:class:`~repro.fs.scavenger.ScavengingManager`, and the weighted two-layer
+placement realizing the requested own-data fraction α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import (Cluster, Container, ResourceCaps, build_das5)
+from ..fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from ..hashing import own_victim_weights
+from ..sim import Environment
+from ..store import AuthPolicy, StoreCostModel, StoreServer
+from ..tenants import InterferenceProbe
+from ..units import GB, MB
+from ..workflows import WorkflowEngine
+
+__all__ = ["DeploymentConfig", "MemFSSDeployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Knobs of one deployment (defaults = the paper's Fig. 2/3/4 setup)."""
+
+    n_own: int = 8
+    n_victim: int = 32
+    alpha: float = 0.25              # fraction of data on own nodes
+    victim_memory: float = 10 * GB   # scavenged cap per victim (§IV-A)
+    own_store_capacity: float = 56 * GB
+    stripe_size: int = 32 * MB
+    replication: int = 1
+    erasure: tuple[int, int] | None = None
+    write_window: int = 2
+    password: str = "memfss-secret"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_own < 1:
+            raise ValueError("n_own must be >= 1")
+        if self.n_victim < 0:
+            raise ValueError("n_victim must be >= 0")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+
+
+class MemFSSDeployment:
+    """A fully wired experiment: cluster + FS + scavenged victims."""
+
+    def __init__(self, config: DeploymentConfig = DeploymentConfig(),
+                 env: Environment | None = None):
+        self.config = config
+        self.cluster: Cluster = build_das5(
+            env, n_nodes=config.n_own + config.n_victim, seed=config.seed)
+        self.env = self.cluster.env
+        res = self.cluster.reservations
+
+        # Own reservation: these nodes run tasks and store data.
+        self.own_reservation = res.reserve("memfss", config.n_own)
+        self.own = list(self.own_reservation.nodes)
+        auth = AuthPolicy(config.password,
+                          allowed_nodes=[n.name for n in self.own])
+        self.auth = auth
+        servers = {
+            n.name: StoreServer(self.env, n, self.cluster.fabric,
+                                capacity=config.own_store_capacity,
+                                name=f"own@{n.name}", auth=auth)
+            for n in self.own}
+
+        weights = own_victim_weights(config.alpha)
+        policy = PlacementPolicy({
+            "own": ClassSpec(weights["own"],
+                             tuple(n.name for n in self.own))})
+        self.fs = MemFSS(self.env, self.cluster.fabric, self.own, servers,
+                         policy, password=config.password,
+                         stripe_size=config.stripe_size,
+                         replication=config.replication,
+                         erasure=config.erasure,
+                         write_window=config.write_window)
+
+        # Tenant reservation: victims registered on the secondary queue
+        # (admin-enforced cap, §III-A mechanism 2).
+        self.victims: list = []
+        self.manager = ScavengingManager(
+            self.env, self.fs, res, auth=auth,
+            caps=ResourceCaps(memory=config.victim_memory))
+        self.tenant_reservation = None
+        if config.n_victim > 0:
+            self.tenant_reservation = res.reserve("tenant", config.n_victim)
+            self.victims = list(self.tenant_reservation.nodes)
+            res.enforce_scavenging(config.victim_memory)
+            self.manager.scavenge(self.victims, config.victim_memory,
+                                  weights["victim"], class_name="victim")
+        self.engine = WorkflowEngine(self.env, self.fs)
+        self.probe = InterferenceProbe.from_servers(self.fs.servers)
+
+    # -- convenience --------------------------------------------------------------
+    @property
+    def servers(self):
+        return self.fs.servers
+
+    def own_class_utilization(self) -> dict[str, float]:
+        """Time-averaged CPU / NIC utilization of the own class so far."""
+        return self._class_utilization(self.own)
+
+    def victim_class_utilization(self) -> dict[str, float]:
+        return self._class_utilization(self.victims)
+
+    def _class_utilization(self, nodes) -> dict[str, float]:
+        t = self.env.now
+        if t <= 0 or not nodes:
+            return {"cpu": 0.0, "tx": 0.0, "rx": 0.0}
+        net = self.cluster.fabric.net
+        return {
+            "cpu": sum(n.cpu.busy_time() for n in nodes) / len(nodes) / t,
+            "tx": sum(net.busy_time(n.tx) for n in nodes) / len(nodes) / t,
+            "rx": sum(net.busy_time(n.rx) for n in nodes) / len(nodes) / t,
+        }

@@ -1,0 +1,5 @@
+"""Published data the paper cites (the Table I utilization survey)."""
+
+from .survey import TABLE_I, SurveyRecord, check_simulated_utilization
+
+__all__ = ["TABLE_I", "SurveyRecord", "check_simulated_utilization"]

@@ -1,0 +1,79 @@
+"""Table I: the resource-utilization survey (paper §II-B).
+
+The paper motivates scavenging with published measurements of how little
+memory and network clusters actually use.  The records below are Table I
+verbatim; :func:`check_simulated_utilization` classifies a simulated
+cluster's numbers against a survey row's ranges, which is how the Table I
+bench shows our tenant models land inside the surveyed envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SurveyRecord", "TABLE_I", "check_simulated_utilization"]
+
+
+@dataclass(frozen=True)
+class SurveyRecord:
+    """One Table I row.  Bounds are fractions of capacity; None = N/A."""
+
+    study: str
+    cpu: tuple[float | None, float | None]       # (low, high)
+    memory: tuple[float | None, float | None]
+    network: tuple[float | None, float | None]
+    note: str = ""
+
+    @staticmethod
+    def _inside(value: float, bounds: tuple[float | None, float | None],
+                ) -> bool | None:
+        lo, hi = bounds
+        if lo is None and hi is None:
+            return None
+        if lo is not None and value < lo:
+            return False
+        if hi is not None and value > hi:
+            return False
+        return True
+
+    def covers(self, cpu: float | None = None, memory: float | None = None,
+               network: float | None = None) -> dict[str, bool | None]:
+        """Which of the given utilizations fall inside this row's ranges."""
+        out: dict[str, bool | None] = {}
+        if cpu is not None:
+            out["cpu"] = self._inside(cpu, self.cpu)
+        if memory is not None:
+            out["memory"] = self._inside(memory, self.memory)
+        if network is not None:
+            out["network"] = self._inside(network, self.network)
+        return out
+
+
+#: Table I of the paper, as (low, high) utilization fractions.
+TABLE_I: tuple[SurveyRecord, ...] = (
+    SurveyRecord("Google Traces", cpu=(0.0, 0.60), memory=(0.0, 0.50),
+                 network=(None, None),
+                 note="trace analysis; CPU ~60%, memory ~50%"),
+    SurveyRecord("Facebook", cpu=(None, None), memory=(0.0, 0.19),
+                 network=(None, None),
+                 note="median memory 19%, p95 42%"),
+    SurveyRecord("Taobao", cpu=(0.0, 0.70), memory=(0.20, 0.40),
+                 network=(0.0, 0.20 / 1.5),
+                 note="10-20 MB/s on GbE; CPU <= 70%"),
+    SurveyRecord("Mesos", cpu=(0.0, 0.80), memory=(0.0, 0.40),
+                 network=(None, None),
+                 note="memory raised from 20% to 40% by sharing"),
+    SurveyRecord("Graph Processing Platforms", cpu=(0.0, 0.10),
+                 memory=(0.0, 0.50), network=(0.0, 0.128 / 10),
+                 note="<=128 Mbit/s on 10G; CPU <= 10%"),
+    SurveyRecord("Commercial Cloud Datacenters", cpu=(None, None),
+                 memory=(None, None), network=(0.0, 0.20),
+                 note="<=20% bisection bandwidth used"),
+)
+
+
+def check_simulated_utilization(cpu: float, memory: float, network: float,
+                                ) -> list[tuple[str, dict[str, bool | None]]]:
+    """Classify one simulated cluster's utilization against every row."""
+    return [(rec.study, rec.covers(cpu=cpu, memory=memory, network=network))
+            for rec in TABLE_I]

@@ -1,0 +1,59 @@
+"""Erasure coding for stripe redundancy (paper §III-E).
+
+The paper notes that full replication "could be a prohibitive strategy"
+in-memory and names erasure coding as the lower-redundancy alternative
+they were implementing as future work.  We provide the simplest honest
+instance: per-group XOR parity (k data stripes + m parity stripes; with
+XOR, m = 1 tolerates one loss per group; m > 1 stores additional parity
+copies, tolerating one loss with m-way parity durability).
+
+Functional mode XORs real stripe bytes; simulation mode only accounts
+parity sizes.  A Reed-Solomon code would tolerate m losses per group —
+the group layout and key scheme below are agnostic to that upgrade.
+"""
+
+from __future__ import annotations
+
+__all__ = ["group_layout", "parity_key", "xor_parity", "reconstruct_size",
+           "storage_overhead"]
+
+
+def group_layout(n_stripes: int, k: int) -> list[tuple[int, int]]:
+    """Parity groups over *n_stripes*: list of (first_index, count)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n_stripes < 0:
+        raise ValueError("n_stripes must be non-negative")
+    return [(first, min(k, n_stripes - first))
+            for first in range(0, n_stripes, k)]
+
+
+def parity_key(inode: int, group: int, j: int) -> tuple[str, int, int, int]:
+    """The store key of parity stripe *j* of *group*."""
+    if group < 0 or j < 0:
+        raise ValueError("group and j must be non-negative")
+    return ("parity", inode, group, j)
+
+
+def xor_parity(pieces: list[bytes]) -> bytes:
+    """XOR of the pieces, zero-padded to the longest one."""
+    if not pieces:
+        return b""
+    length = max(len(p) for p in pieces)
+    acc = bytearray(length)
+    for p in pieces:
+        for i, b in enumerate(p):
+            acc[i] ^= b
+    return bytes(acc)
+
+
+def reconstruct_size(length: float) -> tuple[float, None]:
+    """Size-only reconstruction result for simulation mode."""
+    return float(length), None
+
+
+def storage_overhead(k: int, m: int) -> float:
+    """Extra storage fraction of a (k, m) code: m/k (vs. r-1 for replicas)."""
+    if k < 1 or m < 0:
+        raise ValueError("need k >= 1, m >= 0")
+    return m / k

@@ -1,0 +1,539 @@
+"""MemFSS — the scavenging in-memory distributed file system.
+
+This is the paper's core artifact (§III).  A :class:`MemFSS` instance ties
+together:
+
+- the **own nodes** (run tasks *and* store data; only they may mount the
+  file system and pass the stores' AUTH policy);
+- any number of **victim classes** (store data only), managed dynamically
+  by the :class:`~repro.fs.scavenger.ScavengingManager`;
+- the two-layer weighted HRW :class:`~repro.fs.placement.PlacementPolicy`;
+- per-file :class:`~repro.fs.metadata.FileMeta` records placed on own
+  nodes by modulo hashing;
+- striping, optional k-replication (2nd/3rd HRW winners, §III-E) and
+  optional XOR/parity erasure coding (§III-E's future-work alternative).
+
+All I/O methods are generators driven inside simulation processes; with a
+zero-cost fabric they also work as a perfectly ordinary (if synchronous)
+in-process file system, which is how the functional tests use them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..cluster.network import Fabric
+from ..cluster.node import Node
+from ..hashing import ModuloPlacer
+from ..sim import Environment, FluidResource
+from ..store import StoreClient, StoreError, StoreServer
+from ..units import GB
+from .erasure import group_layout, parity_key, reconstruct_size, xor_parity
+from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
+                       normalize_path, parent_dir)
+from .placement import PlacementPolicy
+from .striping import (DEFAULT_STRIPE_SIZE, split_payload, stripe_count,
+                       stripe_key, stripe_spans)
+
+__all__ = ["MemFSS", "FsError", "FileNotFound", "FileExists", "NotADir"]
+
+_REGISTRY_KEY = ("allfiles",)
+
+
+class FsError(RuntimeError):
+    """Generic file-system failure."""
+
+
+class FileNotFound(FsError):
+    pass
+
+
+class FileExists(FsError):
+    pass
+
+
+class NotADir(FsError):
+    pass
+
+
+class MemFSS:
+    """One deployed file system over a set of store servers."""
+
+    def __init__(self, env: Environment, fabric: Fabric,
+                 own_nodes: list[Node], servers: dict[str, StoreServer],
+                 policy: PlacementPolicy, *,
+                 password: str = "",
+                 stripe_size: int = DEFAULT_STRIPE_SIZE,
+                 replication: int = 1,
+                 erasure: tuple[int, int] | None = None,
+                 write_window: int = 4,
+                 fuse_bandwidth: float = 2 * GB,
+                 fuse_stream_cap: float = 1 * GB):
+        if not own_nodes:
+            raise ValueError("need at least one own node")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if replication > 1 and erasure is not None:
+            raise ValueError("choose replication or erasure, not both")
+        if erasure is not None:
+            k, m = erasure
+            if k < 1 or m < 1:
+                raise ValueError("erasure needs k >= 1 data, m >= 1 parity")
+        missing = [n for n in policy.all_nodes if n not in servers]
+        if missing:
+            raise ValueError(f"no server for placement nodes {missing}")
+        if write_window < 1:
+            raise ValueError("write_window must be >= 1")
+        self.env = env
+        self.fabric = fabric
+        self.own_nodes = list(own_nodes)
+        self.servers = dict(servers)
+        self.policy = policy
+        self.stripe_size = int(stripe_size)
+        self.replication = replication
+        self.erasure = erasure
+        self.write_window = write_window
+        self.meta_placer = ModuloPlacer([n.name for n in own_nodes])
+        self._clients = {n.name: StoreClient(env, fabric, n, password)
+                         for n in own_nodes}
+        # The FUSE data path is a real per-node throughput limit: the
+        # userspace daemon copies every byte, sustaining ~2 GB/s per node
+        # and ~1 GB/s per stream (MemFS, FGCS 2015).  This cap — not the
+        # 3 GB/s NIC — is what holds victim ingress under ~500 MB/s in
+        # the paper's Fig. 2.
+        if fuse_bandwidth <= 0 or fuse_stream_cap <= 0:
+            raise ValueError("fuse bandwidth parameters must be positive")
+        self.fuse_stream_cap = float(fuse_stream_cap)
+        self._fuse_pipes = {
+            n.name: FluidResource(env, fuse_bandwidth, name=f"fuse@{n.name}")
+            for n in own_nodes}
+        self._inodes = itertools.count(1)
+        # Lifetime I/O counters.
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self.files_created = 0
+
+    # -- plumbing ---------------------------------------------------------------
+    def client(self, node: Node) -> StoreClient:
+        try:
+            return self._clients[node.name]
+        except KeyError:
+            raise FsError(f"{node.name} is not an own node; only own nodes "
+                          "mount MemFSS (paper §III-C)") from None
+
+    def _meta_server(self, key) -> StoreServer:
+        return self.servers[self.meta_placer.place(key)]
+
+    def _registry_server(self) -> StoreServer:
+        return self.servers[self.meta_placer.place(_REGISTRY_KEY)]
+
+    def next_inode(self) -> int:
+        return next(self._inodes)
+
+    # -- directories ----------------------------------------------------------------
+    def mkdir(self, node: Node, path: str):
+        """Generator: create a directory (parents must exist)."""
+        path = normalize_path(path)
+        if path == "/":
+            return
+        client = self.client(node)
+        parent = parent_dir(path)
+        if parent != "/":
+            entries = yield from client.smembers(
+                self._meta_server(dir_key(parent)), dir_key(parent))
+            name = parent.rsplit("/", 1)[-1]
+            grand = parent_dir(parent)
+            pentries = yield from client.smembers(
+                self._meta_server(dir_key(grand)), dir_key(grand))
+            if name + "/" not in pentries:
+                raise NotADir(f"parent {parent!r} does not exist")
+            del entries
+        name = path.rsplit("/", 1)[-1]
+        yield from client.sadd(self._meta_server(dir_key(parent)),
+                               dir_key(parent), name + "/")
+
+    def listdir(self, node: Node, path: str):
+        """Generator: names in a directory (dirs carry a trailing '/')."""
+        path = normalize_path(path)
+        client = self.client(node)
+        entries = yield from client.smembers(
+            self._meta_server(dir_key(path)), dir_key(path))
+        return sorted(entries)
+
+    # -- files ------------------------------------------------------------------
+    def write_file(self, node: Node, path: str, nbytes: float | None = None,
+                   payload: bytes | None = None, batch: int = 1):
+        """Generator: create *path* with the given content.
+
+        Returns the :class:`FileMeta`.  Stripes go wherever the current
+        placement policy sends them, up to :attr:`write_window` in flight.
+        *batch* > 1 marks this logical file as a bundle of that many small
+        application files (per-request store costs are charged that many
+        times — see :class:`repro.store.protocol.Request`).
+        """
+        path = normalize_path(path)
+        if payload is not None:
+            size = len(payload)
+            pieces = split_payload(payload, self.stripe_size)
+        else:
+            if nbytes is None or nbytes < 0:
+                raise ValueError("write_file needs payload or nbytes >= 0")
+            size = int(nbytes)
+            pieces = None
+        client = self.client(node)
+        inode = self.next_inode()
+        n = stripe_count(size, self.stripe_size)
+        weights, members = self.policy.snapshot()
+        meta = FileMeta(path=path, inode=inode, size=size,
+                        stripe_size=self.stripe_size, n_stripes=n,
+                        class_weights=weights, class_members=members,
+                        replication=self.replication, erasure=self.erasure)
+
+        spans = stripe_spans(size, self.stripe_size)
+        batch = max(1, int(batch))
+        jobs = []
+        for span in spans:
+            key = stripe_key(inode, span.index)
+            piece = pieces[span.index] if pieces is not None else None
+            # Spread the bundle's request count across its stripes.
+            share = batch // n + (1 if span.index < batch % n else 0) if n else 0
+            jobs.append((key, float(span.length), piece, max(1, share)))
+        if self.erasure is not None:
+            k, m = self.erasure
+            for gi, (first, count) in enumerate(group_layout(n, k)):
+                group_pieces = (pieces[first:first + count]
+                                if pieces is not None else None)
+                plen = max((spans[i].length
+                            for i in range(first, first + count)),
+                           default=0)
+                for j in range(m):
+                    pkey = parity_key(inode, gi, j)
+                    ppiece = (xor_parity(group_pieces)
+                              if group_pieces is not None else None)
+                    jobs.append((pkey, float(plen), ppiece, 1))
+
+        yield from self._run_window(
+            [self._write_stripe(client, key, nb, piece, share)
+             for key, nb, piece, share in jobs])
+
+        # Metadata: file record, parent directory entry, global registry.
+        yield from client.put(self._meta_server(file_meta_key(path)),
+                              file_meta_key(path), payload=meta.to_bytes())
+        parent = parent_dir(path)
+        name = path.rsplit("/", 1)[-1]
+        yield from client.sadd(self._meta_server(dir_key(parent)),
+                               dir_key(parent), name)
+        yield from client.sadd(self._registry_server(), _REGISTRY_KEY, path)
+        self.bytes_written += size
+        self.files_created += 1
+        return meta
+
+    def _through_fuse(self, node_name: str, nbytes: float, gen):
+        """Generator: run *gen* while the payload crosses the FUSE pipe.
+
+        The FUSE copy and the store transfer are pipelined, so the cost is
+        the max of the two, modeled by waiting on both concurrently.
+        Returns the inner generator's value.
+        """
+        pipe = self._fuse_pipes[node_name]
+        inner = self.env.process(gen)
+        if nbytes <= 0:
+            return (yield inner)
+        flow = pipe.submit(nbytes, cap=self.fuse_stream_cap, label="fuse")
+        try:
+            yield self.env.all_of([flow.done, inner])
+        except BaseException:
+            pipe.remove(flow)
+            if inner.is_alive:
+                inner.interrupt()
+            raise
+        return inner.value
+
+    def _write_stripe(self, client: StoreClient, key, nbytes: float,
+                      piece: bytes | None, batch: int = 1):
+        """Generator: write one stripe to its replica set."""
+        targets = self.policy.ranked(key, k=self.replication)
+        for target in targets:
+            yield from self._through_fuse(
+                client.node.name, nbytes,
+                client.put(self.servers[target], key,
+                           nbytes=None if piece is not None else nbytes,
+                           payload=piece, batch=batch))
+
+    def _run_window(self, gens: list):
+        """Run generators with at most :attr:`write_window` in flight."""
+        window = self.write_window
+        if window == 1 or len(gens) <= 1:
+            for g in gens:
+                yield from g
+            return
+        pending = list(reversed(gens))
+        active: list = []
+        while pending or active:
+            while pending and len(active) < window:
+                active.append(self.env.process(pending.pop()))
+            try:
+                done = yield self.env.any_of(active)
+            except BaseException:
+                for p in active:
+                    if p.is_alive:
+                        p.interrupt("write aborted")
+                raise
+            active = [p for p in active if not p.triggered]
+            del done
+
+    def stat(self, node: Node, path: str):
+        """Generator: the :class:`FileMeta` of *path*."""
+        path = normalize_path(path)
+        client = self.client(node)
+        try:
+            server = self._meta_server(file_meta_key(path))
+        except KeyError:
+            # The node holding this path's metadata has left the system —
+            # exactly the failure mode §III-D's own-only placement avoids.
+            raise FileNotFound(f"{path}: metadata server is gone") from None
+        try:
+            _n, raw = yield from client.get(server, file_meta_key(path))
+        except StoreError as exc:
+            if exc.code == "missing":
+                raise FileNotFound(path) from None
+            raise
+        return FileMeta.from_bytes(raw)
+
+    def read_file(self, node: Node, path: str, batch: int = 1):
+        """Generator: read the whole file.
+
+        Returns ``(size, payload_or_None)``.  Stripes are located with the
+        placement recorded in the file's metadata; if a stripe's primary
+        node no longer answers, the ranked HRW chain is walked (lazy
+        movement, §V-C) and parity reconstruction is attempted for
+        erasure-coded files.
+        """
+        path = normalize_path(path)
+        meta = yield from self.stat(node, path)
+        client = self.client(node)
+        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        pieces: list[bytes] = []
+        have_payload = True
+        batch = max(1, int(batch))
+        n = meta.n_stripes
+        spans = stripe_spans(meta.size, meta.stripe_size)
+        for idx in range(meta.n_stripes):
+            key = stripe_key(meta.inode, idx)
+            share = batch // n + (1 if idx < batch % n else 0) if n else 0
+            nbytes, piece = yield from self._through_fuse(
+                node.name, float(spans[idx].length),
+                self._read_stripe(client, policy, meta, key, idx,
+                                  batch=max(1, share)))
+            if piece is None:
+                have_payload = False
+            else:
+                pieces.append(piece)
+        self.bytes_read += meta.size
+        if have_payload and (meta.n_stripes > 0 or meta.size == 0):
+            return meta.size, b"".join(pieces)
+        return meta.size, None
+
+    def read_range(self, node: Node, path: str, offset: int, length: int,
+                   batch: int = 1):
+        """Generator: read ``[offset, offset + length)`` of a file.
+
+        Fetches only the stripes covering the range (a stripe is the unit
+        of transfer, as in the real FUSE layer).  Returns
+        ``(bytes_read, payload_or_None)`` where *bytes_read* counts the
+        requested range, clamped to the file size.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        path = normalize_path(path)
+        meta = yield from self.stat(node, path)
+        client = self.client(node)
+        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        end = min(offset + length, meta.size)
+        if end <= offset:
+            return 0, b""
+        first = int(offset // meta.stripe_size)
+        last = int((end - 1) // meta.stripe_size)
+        spans = stripe_spans(meta.size, meta.stripe_size)
+        batch = max(1, int(batch))
+        n = last - first + 1
+        pieces: list[bytes] = []
+        have_payload = True
+        for k, idx in enumerate(range(first, last + 1)):
+            key = stripe_key(meta.inode, idx)
+            share = batch // n + (1 if k < batch % n else 0)
+            _nb, piece = yield from self._through_fuse(
+                node.name, float(spans[idx].length),
+                self._read_stripe(client, policy, meta, key, idx,
+                                  batch=max(1, share)))
+            if piece is None:
+                have_payload = False
+            else:
+                pieces.append(piece)
+        nread = end - offset
+        self.bytes_read += nread
+        if not have_payload:
+            return nread, None
+        blob = b"".join(pieces)
+        lo = offset - first * meta.stripe_size
+        return nread, blob[int(lo):int(lo) + int(nread)]
+
+    def _read_stripe(self, client: StoreClient, policy: PlacementPolicy,
+                     meta: FileMeta, key, idx: int, batch: int = 1):
+        """Generator: fetch one stripe, walking the replica chain."""
+        chain = policy.ranked(key, k=max(self.replication, 3))
+        last_error: Exception | None = None
+        for target in chain:
+            server = self.servers.get(target)
+            if server is None:
+                continue
+            try:
+                return (yield from client.get(server, key, batch=batch))
+            except StoreError as exc:
+                if exc.code != "missing":
+                    raise
+                last_error = exc
+        if meta.erasure is not None:
+            return (yield from self._reconstruct_stripe(
+                client, policy, meta, idx))
+        raise FileNotFound(
+            f"stripe {key!r} of {meta.path!r} lost "
+            f"(tried {chain}): {last_error}")
+
+    def _reconstruct_stripe(self, client: StoreClient,
+                            policy: PlacementPolicy, meta: FileMeta,
+                            idx: int):
+        """Generator: rebuild a lost stripe from its parity group."""
+        assert meta.erasure is not None
+        k, m = meta.erasure
+        gi = idx // k
+        first = gi * k
+        count = min(k, meta.n_stripes - first)
+        spans = stripe_spans(meta.size, meta.stripe_size)
+        got: list[bytes | None] = []
+        sizes: list[float] = []
+        # Fetch the surviving siblings.
+        for sib in range(first, first + count):
+            if sib == idx:
+                continue
+            key = stripe_key(meta.inode, sib)
+            try:
+                nb, piece = yield from self._fetch_any(client, policy, key)
+            except FileNotFound:
+                raise FileNotFound(
+                    f"stripe {idx} of {meta.path!r}: second loss in parity "
+                    f"group {gi}; cannot reconstruct with m={m}") from None
+            got.append(piece)
+            sizes.append(nb)
+        # Fetch one parity stripe.
+        pkey = parity_key(meta.inode, gi, 0)
+        pnb, ppiece = yield from self._fetch_any(client, policy, pkey)
+        my_len = spans[idx].length
+        if ppiece is not None and all(p is not None for p in got):
+            data = xor_parity([ppiece] + [p for p in got])  # type: ignore[list-item]
+            return float(my_len), data[:my_len]
+        return reconstruct_size(my_len), None
+
+    def _fetch_any(self, client: StoreClient, policy: PlacementPolicy, key):
+        """Generator: get *key* from anywhere in its ranked chain."""
+        for target in policy.ranked(key, k=3):
+            server = self.servers.get(target)
+            if server is None:
+                continue
+            try:
+                return (yield from client.get(server, key))
+            except StoreError as exc:
+                if exc.code != "missing":
+                    raise
+        raise FileNotFound(f"{key!r} unavailable on all replicas")
+
+    def unlink(self, node: Node, path: str):
+        """Generator: delete a file, its stripes, and its metadata."""
+        path = normalize_path(path)
+        meta = yield from self.stat(node, path)
+        client = self.client(node)
+        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        keys = [stripe_key(meta.inode, i) for i in range(meta.n_stripes)]
+        if meta.erasure is not None:
+            k, m = meta.erasure
+            for gi, _ in enumerate(group_layout(meta.n_stripes, k)):
+                keys.extend(parity_key(meta.inode, gi, j) for j in range(m))
+        for key in keys:
+            for target in policy.ranked(key, k=self.replication):
+                server = self.servers.get(target)
+                if server is None:
+                    continue
+                try:
+                    yield from client.delete(server, key)
+                except StoreError as exc:
+                    if exc.code != "missing":
+                        raise
+        yield from client.delete(self._meta_server(file_meta_key(path)),
+                                 file_meta_key(path))
+        parent = parent_dir(path)
+        name = path.rsplit("/", 1)[-1]
+        yield from client.srem(self._meta_server(dir_key(parent)),
+                               dir_key(parent), name)
+        yield from client.srem(self._registry_server(), _REGISTRY_KEY, path)
+        return meta.size
+
+    def rename(self, node: Node, old: str, new: str):
+        """Generator: move a file.  Stripe keys are inode-based, so only
+        metadata moves — no data transfer."""
+        old, new = normalize_path(old), normalize_path(new)
+        meta = yield from self.stat(node, old)
+        client = self.client(node)
+        meta.path = new
+        yield from client.put(self._meta_server(file_meta_key(new)),
+                              file_meta_key(new), payload=meta.to_bytes())
+        yield from client.delete(self._meta_server(file_meta_key(old)),
+                                 file_meta_key(old))
+        yield from client.sadd(self._meta_server(dir_key(parent_dir(new))),
+                               dir_key(parent_dir(new)),
+                               new.rsplit("/", 1)[-1])
+        yield from client.srem(self._meta_server(dir_key(parent_dir(old))),
+                               dir_key(parent_dir(old)),
+                               old.rsplit("/", 1)[-1])
+        yield from client.srem(self._registry_server(), _REGISTRY_KEY, old)
+        yield from client.sadd(self._registry_server(), _REGISTRY_KEY, new)
+        return meta
+
+    def exists(self, node: Node, path: str):
+        """Generator: True if *path* names a file."""
+        try:
+            yield from self.stat(node, path)
+            return True
+        except FileNotFound:
+            return False
+
+    def list_all_files(self, node: Node):
+        """Generator: every file path in the registry (for migration)."""
+        client = self.client(node)
+        paths = yield from client.smembers(self._registry_server(),
+                                           _REGISTRY_KEY)
+        return sorted(paths)
+
+    def purge(self, node: Node):
+        """Generator: wipe the whole file system (one FLUSH per server).
+
+        The experiment harness re-runs bags of tasks back to back; like a
+        remount of the real MemFSS, a purge clears all data and metadata at
+        one request per store instead of a full per-file unlink walk.
+        Returns the total bytes released.
+        """
+        client = self.client(node)
+        released = 0.0
+        for server in set(self.servers.values()):
+            released += yield from client.flush(server)
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        return released
+
+    # -- capacity ------------------------------------------------------------------
+    def total_capacity(self) -> float:
+        return sum(self.servers[n].kv.capacity for n in self.policy.all_nodes)
+
+    def used_bytes(self) -> float:
+        return sum(self.servers[n].kv.used_bytes
+                   for n in self.policy.all_nodes)

@@ -1,0 +1,103 @@
+"""File-system metadata records (paper §III-D).
+
+Metadata holds "file system organization information: directory structure,
+file sizes, number of file stripes and the HRW weights we used to decide
+the file stripe placement".  Recording the weights per file is what allows
+victim classes to be added or removed later without invalidating existing
+placements: reads recompute each old file's placement with the weights in
+force when it was written.
+
+Records serialize to JSON bytes; they are stored as ordinary values in the
+*own* nodes' stores, placed by modulo hashing (see
+:class:`~repro.fs.memfss.MemFSS`).
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from dataclasses import dataclass, field
+
+__all__ = ["FileMeta", "normalize_path", "parent_dir", "file_meta_key",
+           "dir_key", "PathError"]
+
+
+class PathError(ValueError):
+    """Malformed or illegal file-system path."""
+
+
+def normalize_path(path: str) -> str:
+    """Canonical absolute path ('/a/b'); raises :class:`PathError` if bad."""
+    if not path or not path.startswith("/"):
+        raise PathError(f"path must be absolute: {path!r}")
+    # POSIX semantics: "/.." is "/", so normpath can never escape the root.
+    return posixpath.normpath(path)
+
+
+def parent_dir(path: str) -> str:
+    return posixpath.dirname(normalize_path(path)) or "/"
+
+
+def file_meta_key(path: str) -> tuple[str, str]:
+    return ("filemeta", normalize_path(path))
+
+
+def dir_key(path: str) -> tuple[str, str]:
+    return ("dirents", normalize_path(path))
+
+
+@dataclass
+class FileMeta:
+    """Everything needed to find a file's stripes again."""
+
+    path: str
+    inode: int
+    size: int
+    stripe_size: int
+    n_stripes: int
+    class_weights: dict[str, float] = field(default_factory=dict)
+    class_members: dict[str, list[str]] = field(default_factory=dict)
+    replication: int = 1
+    erasure: tuple[int, int] | None = None   # (data, parity) group, if coded
+
+    def __post_init__(self):
+        self.path = normalize_path(self.path)
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+        if self.stripe_size <= 0:
+            raise ValueError("stripe_size must be positive")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+    # -- serialization ------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        doc = {
+            "path": self.path,
+            "inode": self.inode,
+            "size": self.size,
+            "stripe_size": self.stripe_size,
+            "n_stripes": self.n_stripes,
+            "class_weights": self.class_weights,
+            "class_members": self.class_members,
+            "replication": self.replication,
+            "erasure": list(self.erasure) if self.erasure else None,
+        }
+        return json.dumps(doc, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FileMeta":
+        doc = json.loads(data.decode())
+        erasure = tuple(doc["erasure"]) if doc.get("erasure") else None
+        return cls(
+            path=doc["path"],
+            inode=doc["inode"],
+            size=doc["size"],
+            stripe_size=doc["stripe_size"],
+            n_stripes=doc["n_stripes"],
+            class_weights={k: float(v)
+                           for k, v in doc["class_weights"].items()},
+            class_members={k: list(v)
+                           for k, v in doc["class_members"].items()},
+            replication=doc.get("replication", 1),
+            erasure=erasure,
+        )

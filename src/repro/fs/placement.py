@@ -1,0 +1,152 @@
+"""Two-layer stripe placement (paper §III-B).
+
+Layer 1 picks the node *class* by weighted HRW; layer 2 picks the node
+within the class by plain HRW.  A :class:`PlacementPolicy` is immutable —
+membership changes (a victim class joining or leaving) produce a *new*
+policy — because every file's metadata records the policy under which its
+stripes were placed, and reads must be able to reconstruct exactly that
+placement (:meth:`PlacementPolicy.from_meta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..hashing import HashFamily, HrwHasher, MIX64, WeightedClassHrw
+from ..hashing.hrw import get_family, stable_digest
+from .metadata import FileMeta
+
+__all__ = ["ClassSpec", "PlacementPolicy"]
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One node class: its HRW weight and member node names."""
+
+    weight: float
+    nodes: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("duplicate nodes in class")
+
+
+class PlacementPolicy:
+    """Immutable two-layer placement over named node classes."""
+
+    def __init__(self, classes: dict[str, ClassSpec],
+                 family: str | HashFamily = MIX64):
+        if not classes:
+            raise ValueError("need at least one class")
+        all_nodes = [n for spec in classes.values() for n in spec.nodes]
+        if len(set(all_nodes)) != len(all_nodes):
+            raise ValueError("a node may belong to only one class")
+        if not any(spec.nodes for spec in classes.values()):
+            raise ValueError("at least one class must have nodes")
+        self.family = get_family(family)
+        self._classes = dict(classes)
+        self._layer1 = WeightedClassHrw(
+            {name: spec.weight for name, spec in classes.items()},
+            self.family)
+        self._layer2 = {name: HrwHasher(spec.nodes, self.family)
+                        for name, spec in classes.items() if spec.nodes}
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def classes(self) -> dict[str, ClassSpec]:
+        return dict(self._classes)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._classes)
+
+    def nodes_of(self, cls: str) -> tuple[str, ...]:
+        return self._classes[cls].nodes
+
+    @property
+    def all_nodes(self) -> tuple[str, ...]:
+        return tuple(n for spec in self._classes.values()
+                     for n in spec.nodes)
+
+    # -- placement ---------------------------------------------------------------
+    def class_ranking(self, key: Hashable) -> list[str]:
+        """Classes by descending weighted score, skipping empty classes."""
+        sc = self._layer1.scores(key)
+        order = sorted(self._classes, key=lambda c: -sc[c])
+        return [c for c in order if self._classes[c].nodes]
+
+    def class_of(self, key: Hashable) -> str:
+        ranking = self.class_ranking(key)
+        return ranking[0]
+
+    def place(self, key: Hashable) -> str:
+        """The node storing *key*'s primary copy."""
+        cls = self.class_of(key)
+        return self._layer2[cls].place(key)
+
+    def ranked(self, key: Hashable, k: int | None = None) -> list[str]:
+        """Replica / lazy-lookup chain: nodes of the winning class by
+        descending HRW score, spilling into the next-ranked class if the
+        winning class is smaller than *k* (paper §III-E)."""
+        out: list[str] = []
+        for cls in self.class_ranking(key):
+            out.extend(self._layer2[cls].ranked(key))
+            if k is not None and len(out) >= k:
+                return out[:k]
+        return out if k is None else out[:k]
+
+    # -- metadata round trip --------------------------------------------------------
+    def snapshot(self) -> tuple[dict[str, float], dict[str, list[str]]]:
+        """(weights, members) as stored in :class:`FileMeta`."""
+        weights = {c: spec.weight for c, spec in self._classes.items()}
+        members = {c: list(spec.nodes) for c, spec in self._classes.items()}
+        return weights, members
+
+    @classmethod
+    def from_meta(cls, meta: FileMeta,
+                  family: str | HashFamily = MIX64) -> "PlacementPolicy":
+        """Reconstruct the policy a file was written under."""
+        classes = {name: ClassSpec(meta.class_weights[name],
+                                   tuple(meta.class_members[name]))
+                   for name in meta.class_weights}
+        return cls(classes, family)
+
+    # -- evolution ---------------------------------------------------------------
+    def with_class(self, name: str, weight: float,
+                   nodes: tuple[str, ...]) -> "PlacementPolicy":
+        classes = dict(self._classes)
+        classes[name] = ClassSpec(weight, tuple(nodes))
+        return PlacementPolicy(classes, self.family)
+
+    def without_class(self, name: str) -> "PlacementPolicy":
+        classes = dict(self._classes)
+        if name not in classes:
+            raise KeyError(name)
+        del classes[name]
+        return PlacementPolicy(classes, self.family)
+
+    def without_node(self, node: str) -> "PlacementPolicy":
+        """Drop one node (failure / eviction) from whichever class holds it."""
+        classes = {}
+        found = False
+        for cname, spec in self._classes.items():
+            if node in spec.nodes:
+                found = True
+                rest = tuple(n for n in spec.nodes if n != node)
+                classes[cname] = ClassSpec(spec.weight, rest)
+            else:
+                classes[cname] = spec
+        if not found:
+            raise KeyError(node)
+        return PlacementPolicy(classes, self.family)
+
+    def reweighted(self, weights: dict[str, float]) -> "PlacementPolicy":
+        classes = {c: ClassSpec(weights.get(c, spec.weight), spec.nodes)
+                   for c, spec in self._classes.items()}
+        return PlacementPolicy(classes, self.family)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{c}({len(s.nodes)}n,w={s.weight:.3g})"
+                          for c, s in self._classes.items())
+        return f"<PlacementPolicy {parts}>"

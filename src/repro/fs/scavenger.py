@@ -1,0 +1,164 @@
+"""Victim-class lifecycle: claiming leases, eviction, lazy migration.
+
+This module implements the dynamic side of §III: MemFSS "extends its
+storage space by scavenging for memory in victim cluster reservations".
+The :class:`ScavengingManager`
+
+- claims :class:`~repro.cluster.reservation.ScavengeLease`\\ s from the
+  reservation system's secondary queue,
+- spins up a containerized store server per victim node (§III-F),
+- registers the victim class in the placement policy with the weight that
+  realizes the requested own-data fraction α (§III-B),
+- watches every lease and, on revocation (tenant memory pressure, §III-A),
+  **evacuates** the node: stripes it holds are copied to the next node in
+  their HRW rank chain, each file's recorded membership is updated, and the
+  store is shut down.  Reads that race with an eviction still succeed
+  because the read path already walks the rank chain (lazy movement,
+  §V-C).
+"""
+
+from __future__ import annotations
+
+from ..cluster.container import Container, ResourceCaps
+from ..cluster.node import Node
+from ..cluster.reservation import ReservationSystem, ScavengeLease
+from ..sim import Environment
+from ..store import AuthPolicy, StoreCostModel, StoreError, StoreServer
+from .memfss import MemFSS
+from .metadata import FileMeta, file_meta_key
+from .placement import PlacementPolicy
+from .striping import stripe_key
+
+__all__ = ["ScavengingManager"]
+
+
+class ScavengingManager:
+    """Manages victim classes of one MemFSS deployment."""
+
+    def __init__(self, env: Environment, fs: MemFSS,
+                 reservations: ReservationSystem, *,
+                 auth: AuthPolicy | None = None,
+                 costs: StoreCostModel = StoreCostModel(),
+                 caps: ResourceCaps | None = None):
+        self.env = env
+        self.fs = fs
+        self.reservations = reservations
+        self.auth = auth
+        self.costs = costs
+        self.caps = caps
+        self.leases: dict[str, ScavengeLease] = {}
+        self.evictions = 0
+        self.migrated_bytes = 0.0
+        self._evacuating: set[str] = set()
+
+    # -- acquiring victims ----------------------------------------------------------
+    def scavenge(self, nodes: list[Node], memory_per_node: float,
+                 weight: float, class_name: str = "victim",
+                 watch: bool = True) -> list[StoreServer]:
+        """Claim leases on *nodes* and add them as a placement class.
+
+        *weight* is the HRW class weight (see
+        :func:`repro.hashing.weights.own_victim_weights`).  With *watch*
+        true a watcher process evacuates each node when its lease is
+        revoked.
+        """
+        if not nodes:
+            raise ValueError("need at least one victim node")
+        servers = []
+        for node in nodes:
+            lease = self.reservations.lease(node, memory_per_node,
+                                            holder="memfss")
+            caps = self.caps or ResourceCaps(memory=memory_per_node)
+            container = Container(node, f"memfss@{node.name}", caps)
+            server = StoreServer(self.env, node, self.fs.fabric,
+                                 capacity=memory_per_node,
+                                 name=f"scv@{node.name}",
+                                 auth=self.auth, container=container,
+                                 costs=self.costs)
+            self.fs.servers[node.name] = server
+            self.leases[node.name] = lease
+            servers.append(server)
+            if watch:
+                self.env.process(self._watch(lease, node),
+                                 name=f"scavenge-watch@{node.name}")
+        self.fs.policy = self.fs.policy.with_class(
+            class_name, weight, tuple(n.name for n in nodes))
+        return servers
+
+    def _watch(self, lease: ScavengeLease, node: Node):
+        yield lease.revoked
+        yield from self.evacuate(node)
+
+    # -- eviction --------------------------------------------------------------------
+    def evacuate(self, node: Node):
+        """Generator: move this node's stripes away, then leave the node.
+
+        New files immediately stop using the node (policy update first);
+        existing stripes are copied to the next live node in their
+        *recorded* rank chain and each file's membership snapshot is
+        rewritten so later reads go straight to the right place.
+        """
+        name = node.name
+        server = self.fs.servers.get(name)
+        if server is None or name in self._evacuating:
+            return 0.0
+        self._evacuating.add(name)
+        self.evictions += 1
+        # 1. Stop placing new data on the node.
+        self.fs.policy = self.fs.policy.without_node(name)
+        agent = self.fs.own_nodes[0]
+        client = self.fs.client(agent)
+        moved = 0.0
+        # 2. Walk the registry and relocate affected stripes.
+        paths = yield from self.fs.list_all_files(agent)
+        for path in paths:
+            try:
+                meta = yield from self.fs.stat(agent, path)
+            except Exception:
+                continue
+            if not any(name in members
+                       for members in meta.class_members.values()):
+                continue
+            old_policy = PlacementPolicy.from_meta(meta,
+                                                   self.fs.policy.family)
+            new_policy = old_policy.without_node(name)
+            for idx in range(meta.n_stripes):
+                key = stripe_key(meta.inode, idx)
+                chain = old_policy.ranked(key, k=max(meta.replication, 1))
+                if name not in chain:
+                    continue
+                try:
+                    nbytes, piece = yield from client.get(server, key)
+                except StoreError as exc:
+                    if exc.code == "missing":
+                        continue
+                    raise
+                target = new_policy.ranked(key, k=1)[0]
+                yield from client.put(
+                    self.fs.servers[target], key,
+                    nbytes=None if piece is not None else nbytes,
+                    payload=piece)
+                moved += nbytes
+            # 3. Rewrite the membership snapshot without the node.
+            meta.class_members = {
+                c: [m for m in members if m != name]
+                for c, members in meta.class_members.items()}
+            yield from client.put(
+                self.fs._meta_server(file_meta_key(path)),
+                file_meta_key(path), payload=meta.to_bytes())
+        # 4. Free the node's memory and deregister the server.
+        server.shutdown()
+        self.fs.servers.pop(name, None)
+        self.leases.pop(name, None)
+        self.migrated_bytes += moved
+        self._evacuating.discard(name)
+        return moved
+
+    def withdraw(self, node: Node):
+        """Generator: voluntarily leave a node (same path as eviction)."""
+        lease = self.leases.get(node.name)
+        if lease is not None and lease.active:
+            lease.revoke("withdrawn")
+            # The watcher (if any) will also wake; evacuation is idempotent
+            # because the server disappears from fs.servers.
+        return (yield from self.evacuate(node))

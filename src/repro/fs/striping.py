@@ -1,0 +1,73 @@
+"""File striping (paper §III-C).
+
+The FUSE layer "is also responsible for striping the files into smaller
+pieces of data such that we achieve load balance within nodes in the same
+class".  A file of ``size`` bytes becomes ``ceil(size / stripe_size)``
+stripes; the HRW protocol is applied per stripe.  Stripe keys derive from
+the file's *inode*, not its path, so renames never move data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MB
+
+__all__ = ["DEFAULT_STRIPE_SIZE", "StripeSpan", "stripe_count",
+           "stripe_spans", "stripe_key", "split_payload", "join_payload"]
+
+DEFAULT_STRIPE_SIZE = 8 * MB
+
+
+@dataclass(frozen=True)
+class StripeSpan:
+    """One stripe's index and byte range within its file."""
+
+    index: int
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+def stripe_count(size: float, stripe_size: float) -> int:
+    """Number of stripes for a *size*-byte file (0-byte files have none)."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if stripe_size <= 0:
+        raise ValueError("stripe_size must be positive")
+    if size == 0:
+        return 0
+    return int(-(-size // stripe_size))  # ceil for floats too
+
+
+def stripe_spans(size: int, stripe_size: int) -> list[StripeSpan]:
+    """Byte ranges of every stripe of an integer-sized file."""
+    n = stripe_count(size, stripe_size)
+    spans = []
+    for i in range(n):
+        off = i * stripe_size
+        spans.append(StripeSpan(i, off, min(stripe_size, size - off)))
+    return spans
+
+
+def stripe_key(inode: int, index: int) -> tuple[str, int, int]:
+    """The store key of one stripe."""
+    if index < 0:
+        raise ValueError("stripe index must be non-negative")
+    return ("stripe", inode, index)
+
+
+def split_payload(payload: bytes, stripe_size: int) -> list[bytes]:
+    """Split real bytes into stripe payloads (functional mode)."""
+    if stripe_size <= 0:
+        raise ValueError("stripe_size must be positive")
+    return [payload[s.offset:s.end]
+            for s in stripe_spans(len(payload), stripe_size)]
+
+
+def join_payload(pieces: list[bytes]) -> bytes:
+    """Reassemble stripe payloads into the original file bytes."""
+    return b"".join(pieces)

@@ -1,0 +1,16 @@
+"""Placement substrate: HRW / weighted-class HRW, consistent hashing, modulo."""
+
+from .hrw import (HashFamily, HrwHasher, MIX64, TR98, WeightedClassHrw,
+                  hash_mix64, hash_tr98, stable_digest)
+from .weights import (achieved_fractions, calibrate_weights,
+                      own_victim_weights, two_class_weights)
+from .consistent import ConsistentHashRing
+from .modulo import ModuloPlacer
+
+__all__ = [
+    "HashFamily", "HrwHasher", "WeightedClassHrw", "MIX64", "TR98",
+    "hash_mix64", "hash_tr98", "stable_digest",
+    "two_class_weights", "own_victim_weights", "achieved_fractions",
+    "calibrate_weights",
+    "ConsistentHashRing", "ModuloPlacer",
+]

@@ -1,0 +1,252 @@
+"""Highest Random Weight (rendezvous) hashing, plain and class-weighted.
+
+MemFSS's data placement (paper §III-B) is a **two-layer** scheme:
+
+1. *Class layer* — every node belongs to a class (``own`` or ``victim``;
+   more classes may be added dynamically).  For a key ``k`` each class
+   ``C`` scores ``H(C, k) - W_C`` where ``W_C`` is the class *weight*;
+   the highest score wins.  Subtracting a larger weight sends *less* data
+   to that class, which is how MemFSS throttles the traffic imposed on
+   victim reservations.
+2. *Node layer* — within the winning class, plain HRW (Thaler &
+   Ravishankar 1998) places the key uniformly: each node scores
+   ``H(node, k)`` and the maximum wins.  The runner-up nodes provide the
+   natural replica targets (§III-E) and the lazy-migration lookup chain
+   (§V-C).
+
+Both layers inherit HRW's minimal-disruption property: adding or removing
+a node (or class) only remaps the keys that the new arrangement assigns
+differently — O(K/N) of them.
+
+Two hash families are provided:
+
+- ``mix64`` (default): a SplitMix64-style 64-bit finalizer — excellent
+  uniformity, used for all experiments;
+- ``tr98``: the 31-bit multiplicative scheme from the original HRW paper
+  (A·((A·S + B) XOR D) + B mod 2^31), kept for fidelity and ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Hashable
+
+import numpy as np
+
+__all__ = [
+    "stable_digest",
+    "hash_mix64",
+    "hash_tr98",
+    "HashFamily",
+    "MIX64",
+    "TR98",
+    "HrwHasher",
+    "WeightedClassHrw",
+]
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+_TR_A = 1103515245
+_TR_B = 12345
+_TR_MOD = 1 << 31
+
+
+def stable_digest(value: Hashable) -> int:
+    """Deterministic 64-bit digest of a key or node identifier.
+
+    Python's built-in ``hash`` is salted per process; this FNV-1a digest is
+    stable across runs, which placement decisions must be (stripe locations
+    are persisted in metadata).
+    """
+    data = repr(value).encode() if not isinstance(value, (bytes, bytearray)) \
+        else bytes(value)
+    h = 1469598103934665603
+    for byte in data:
+        h ^= byte
+        h = (h * 1099511628211) & _U64
+    return h
+
+
+def hash_mix64(seed: int, digest: int) -> int:
+    """SplitMix64 finalizer over (seed, digest); uniform on [0, 2^64)."""
+    z = (seed ^ (digest * 0x9E3779B97F4A7C15)) & _U64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64
+    return (z ^ (z >> 31)) & _U64
+
+
+def hash_tr98(seed: int, digest: int) -> int:
+    """The weight function of Thaler & Ravishankar (1998), mod 2^31."""
+    s = seed % _TR_MOD
+    d = digest % _TR_MOD
+    return (_TR_A * (((_TR_A * s + _TR_B) ^ d) % _TR_MOD) + _TR_B) % _TR_MOD
+
+
+class HashFamily:
+    """A scalar hash plus its modulus and a vectorized batch variant."""
+
+    def __init__(self, name: str, fn, modulus: int):
+        self.name = name
+        self.fn = fn
+        self.modulus = modulus
+
+    def __call__(self, seed: int, digest: int) -> int:
+        return self.fn(seed, digest)
+
+    def batch(self, seed: int, digests: np.ndarray) -> np.ndarray:
+        """Vectorized hash of many digests with one seed (uint64 array)."""
+        d = np.asarray(digests, dtype=np.uint64)
+        if self.name == "mix64":
+            with np.errstate(over="ignore"):
+                z = np.uint64(seed) ^ (d * np.uint64(0x9E3779B97F4A7C15))
+                z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+                z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+                return z ^ (z >> np.uint64(31))
+        if self.name == "tr98":
+            mod = np.uint64(_TR_MOD)
+            s = np.uint64(seed % _TR_MOD)
+            with np.errstate(over="ignore"):
+                inner = ((np.uint64(_TR_A) * s + np.uint64(_TR_B)) % mod
+                         ^ (d % mod)) % mod
+                return (np.uint64(_TR_A) * inner + np.uint64(_TR_B)) % mod
+        raise ValueError(f"no batch implementation for {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HashFamily {self.name}>"
+
+
+MIX64 = HashFamily("mix64", hash_mix64, 1 << 64)
+TR98 = HashFamily("tr98", hash_tr98, _TR_MOD)
+
+_FAMILIES = {"mix64": MIX64, "tr98": TR98}
+
+
+def get_family(family: "str | HashFamily") -> HashFamily:
+    if isinstance(family, HashFamily):
+        return family
+    try:
+        return _FAMILIES[family]
+    except KeyError:
+        raise ValueError(f"unknown hash family {family!r}; "
+                         f"choose from {sorted(_FAMILIES)}") from None
+
+
+class HrwHasher:
+    """Plain HRW over a set of nodes: uniform placement, ranked runners-up."""
+
+    def __init__(self, nodes: Iterable[Hashable],
+                 family: str | HashFamily = MIX64):
+        self.family = get_family(family)
+        self._nodes: list[Hashable] = []
+        self._seeds: list[int] = []
+        seen = set()
+        for n in nodes:
+            if n in seen:
+                raise ValueError(f"duplicate node {n!r}")
+            seen.add(n)
+            self._nodes.append(n)
+            self._seeds.append(stable_digest(n))
+        if not self._nodes:
+            raise ValueError("HrwHasher needs at least one node")
+        self._seed_arr = np.asarray(self._seeds, dtype=np.uint64)
+
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        return tuple(self._nodes)
+
+    def scores(self, key: Hashable) -> list[int]:
+        d = stable_digest(key)
+        return [self.family(s, d) for s in self._seeds]
+
+    def place(self, key: Hashable) -> Hashable:
+        """The node with the highest random weight for *key*."""
+        sc = self.scores(key)
+        return self._nodes[max(range(len(sc)), key=sc.__getitem__)]
+
+    def ranked(self, key: Hashable, k: int | None = None) -> list[Hashable]:
+        """Nodes ordered by descending score — replica / fallback chain."""
+        sc = self.scores(key)
+        order = sorted(range(len(sc)), key=lambda i: (-sc[i], i))
+        if k is not None:
+            order = order[:k]
+        return [self._nodes[i] for i in order]
+
+    def place_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized placement: index into :attr:`nodes` for each digest."""
+        d = np.asarray(digests, dtype=np.uint64)
+        scores = np.empty((len(self._seeds), len(d)), dtype=np.uint64)
+        for i, s in enumerate(self._seed_arr):
+            scores[i] = self.family.batch(int(s), d)
+        return np.argmax(scores, axis=0)
+
+    def with_nodes(self, nodes: Iterable[Hashable]) -> "HrwHasher":
+        """A new hasher over a different node set (HRW is stateless)."""
+        return HrwHasher(nodes, self.family)
+
+
+class WeightedClassHrw:
+    """The class layer: score(C, k) = H(C, k) − W_C, highest wins.
+
+    Weights are absolute offsets in hash-value units (0 ≤ W < modulus);
+    :mod:`repro.hashing.weights` converts a target data fraction into
+    weight offsets.
+    """
+
+    def __init__(self, class_weights: dict[Hashable, float],
+                 family: str | HashFamily = MIX64):
+        if not class_weights:
+            raise ValueError("need at least one class")
+        self.family = get_family(family)
+        for c, w in class_weights.items():
+            # W == modulus is allowed: it starves the class entirely
+            # (α = 0 % / 100 % endpoints of Fig. 2).
+            if w < 0 or w > self.family.modulus:
+                raise ValueError(
+                    f"class {c!r}: weight {w} outside [0, modulus]")
+        self._classes = list(class_weights)
+        self._weights = dict(class_weights)
+        self._seeds = {c: stable_digest(("class", c)) for c in self._classes}
+
+    @property
+    def classes(self) -> tuple[Hashable, ...]:
+        return tuple(self._classes)
+
+    def weight(self, cls: Hashable) -> float:
+        return self._weights[cls]
+
+    def scores(self, key: Hashable) -> dict[Hashable, float]:
+        d = stable_digest(key)
+        return {c: self.family(self._seeds[c], d) - self._weights[c]
+                for c in self._classes}
+
+    def choose_class(self, key: Hashable) -> Hashable:
+        sc = self.scores(key)
+        # Deterministic tie-break on class registration order.
+        best = self._classes[0]
+        best_score = sc[best]
+        for c in self._classes[1:]:
+            if sc[c] > best_score:
+                best, best_score = c, sc[c]
+        return best
+
+    def choose_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized class choice: index into :attr:`classes`."""
+        d = np.asarray(digests, dtype=np.uint64)
+        scores = np.empty((len(self._classes), len(d)), dtype=np.float64)
+        for i, c in enumerate(self._classes):
+            scores[i] = (self.family.batch(self._seeds[c], d)
+                         .astype(np.float64) - self._weights[c])
+        return np.argmax(scores, axis=0)
+
+    def with_class(self, cls: Hashable, weight: float) -> "WeightedClassHrw":
+        """A new layer with an added (or re-weighted) class — used when a
+        victim class joins or leaves at runtime (§III-D)."""
+        weights = dict(self._weights)
+        weights[cls] = weight
+        return WeightedClassHrw(weights, self.family)
+
+    def without_class(self, cls: Hashable) -> "WeightedClassHrw":
+        weights = dict(self._weights)
+        weights.pop(cls, None)
+        if not weights:
+            raise ValueError("cannot remove the last class")
+        return WeightedClassHrw(weights, self.family)

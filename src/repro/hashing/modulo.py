@@ -1,0 +1,48 @@
+"""Modulo placement for metadata.
+
+Paper §III-D: metadata (directory entries, file sizes, stripe maps, the
+HRW weights in force when a file was written) is stored *only on own
+nodes* with "a simple modulo hashing scheme" — own nodes are controlled
+by the MemFSS user, less likely to fail or be evicted, and metadata
+operations are latency-bound so they stay close to the task nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Hashable
+
+from .hrw import stable_digest
+
+__all__ = ["ModuloPlacer"]
+
+
+class ModuloPlacer:
+    """Places keys on ``nodes[digest(key) % len(nodes)]``.
+
+    Unlike HRW, modulo placement remaps nearly all keys when the node list
+    changes — acceptable here because the *own* node set is fixed for the
+    lifetime of a reservation (victim classes come and go, own nodes don't).
+    """
+
+    def __init__(self, nodes: Sequence[Hashable]):
+        if not nodes:
+            raise ValueError("ModuloPlacer needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("duplicate nodes")
+        self._nodes = list(nodes)
+
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        return tuple(self._nodes)
+
+    def place(self, key: Hashable) -> Hashable:
+        return self._nodes[stable_digest(key) % len(self._nodes)]
+
+    def replicas(self, key: Hashable, k: int) -> list[Hashable]:
+        """k distinct nodes: the primary plus its successors (wrap-around)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self._nodes))
+        start = stable_digest(key) % len(self._nodes)
+        return [self._nodes[(start + i) % len(self._nodes)] for i in range(k)]

@@ -1,0 +1,54 @@
+"""Plain-text table/figure rendering for the benchmark harness.
+
+Every bench regenerates its table or figure as text: the same rows or
+series the paper reports, printed with fixed-width columns so runs are
+easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_bars", "fmt_pct"]
+
+
+def fmt_pct(x: float, digits: int = 1) -> str:
+    return f"{x:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    cols = [list(col) for col in zip(*([list(headers)] + cells))] \
+        if cells else [[h] for h in headers]
+    widths = [max(len(v) for v in col) for col in cols]
+
+    def line(row):
+        return " | ".join(v.ljust(w) for v, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def render_bars(values: dict[str, float], unit: str = "%",
+                width: int = 40, title: str = "") -> str:
+    """A horizontal ASCII bar chart (one bar per labeled value)."""
+    out = []
+    if title:
+        out.append(title)
+    if not values:
+        return title
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    for name, v in values.items():
+        bar = "#" * max(0, round(abs(v) / peak * width))
+        out.append(f"{name.ljust(label_w)} |{bar.ljust(width)}| "
+                   f"{v:7.2f}{unit}")
+    return "\n".join(out)

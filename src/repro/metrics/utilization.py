@@ -1,0 +1,63 @@
+"""Utilization summaries over simulated runs.
+
+These helpers turn the fluid resources' busy-time integrals into the
+class-level utilization percentages the paper plots (Fig. 2) and the
+cluster-level figures Table I surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.node import Node
+
+__all__ = ["NodeUtilization", "node_utilization", "class_utilization"]
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """Time-averaged utilization of one node over [0, t]."""
+
+    name: str
+    cpu: float
+    nic_tx: float
+    nic_rx: float
+    memory: float
+
+    @property
+    def network(self) -> float:
+        return max(self.nic_tx, self.nic_rx)
+
+
+def node_utilization(node: Node, net, duration: float) -> NodeUtilization:
+    """Average utilization of *node* over *duration* seconds.
+
+    *net* is the :class:`~repro.sim.FlowNetwork` owning the node's links.
+    Memory utilization is the instantaneous allocation at call time (the
+    accounting model has no history).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return NodeUtilization(
+        name=node.name,
+        cpu=node.cpu.busy_time() / duration,
+        nic_tx=net.busy_time(node.tx) / duration if node.tx else 0.0,
+        nic_rx=net.busy_time(node.rx) / duration if node.rx else 0.0,
+        memory=node.memory_utilization,
+    )
+
+
+def class_utilization(nodes: list[Node], net,
+                      duration: float) -> NodeUtilization:
+    """Mean utilization across a node class (own / victim)."""
+    if not nodes:
+        raise ValueError("need at least one node")
+    per = [node_utilization(n, net, duration) for n in nodes]
+    k = len(per)
+    return NodeUtilization(
+        name=f"class[{k}]",
+        cpu=sum(u.cpu for u in per) / k,
+        nic_tx=sum(u.nic_tx for u in per) / k,
+        nic_rx=sum(u.nic_rx for u in per) / k,
+        memory=sum(u.memory for u in per) / k,
+    )

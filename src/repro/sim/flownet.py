@@ -1,0 +1,276 @@
+"""Network-wide max-min fair flow model.
+
+The DAS-5 fabric the paper runs on is FDR InfiniBand with (approximately)
+full bisection bandwidth, so the only constrained elements are the node
+NICs.  We model the network as a set of directed :class:`Link` capacities
+(one egress and one ingress link per node, created by the cluster layer);
+a :class:`NetFlow` crosses its source's egress link and its destination's
+ingress link, and the classic **progressive-filling** algorithm computes the
+global max-min fair rate vector every time the flow set changes.
+
+Progressive filling: raise all unfixed flow rates at the same speed; when a
+link saturates (or a flow reaches its own rate cap) freeze the flows on it;
+repeat with the survivors.  The result is the unique max-min fair
+allocation, which is the standard fluid approximation for TCP/IB fabric
+sharing and the mechanism behind every bandwidth-contention number in the
+paper (victim NIC load in Fig. 2, TeraSort shuffle slowdown in Fig. 4, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .kernel import Environment, Event, SimulationError
+
+__all__ = ["Link", "NetFlow", "FlowNetwork", "progressive_fill"]
+
+_EPS = 1e-9
+
+
+class Link:
+    """A directed capacity (one NIC direction, or any shared pipe).
+
+    ``class_bytes`` accumulates, per label prefix (the part of a flow's
+    label before the first ``:``), the bytes that traffic class has moved
+    through the link — how the tenant models measure the scavenging
+    store's average pressure over a window without burst aliasing.
+    """
+
+    __slots__ = ("name", "capacity", "_busy_integral", "used_rate",
+                 "class_bytes")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise SimulationError(f"link {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.used_rate = 0.0
+        self._busy_integral = 0.0
+        self.class_bytes: dict[str, float] = {}
+
+    @property
+    def utilization(self) -> float:
+        return self.used_rate / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.used_rate:.3g}/{self.capacity:.3g}>"
+
+
+class NetFlow:
+    """A transfer crossing one or more links."""
+
+    __slots__ = ("links", "work", "remaining", "cap", "rate", "done", "label",
+                 "started_at", "finished_at")
+
+    def __init__(self, env: Environment, links: tuple[Link, ...],
+                 work: float | None, cap: float, label: str):
+        self.links = links
+        self.work = work
+        self.remaining = math.inf if work is None else float(work)
+        self.cap = float(cap)
+        self.rate = 0.0
+        self.done: Event = env.event()
+        self.label = label
+        self.started_at = env.now
+        self.finished_at: float | None = None
+
+    @property
+    def persistent(self) -> bool:
+        return self.work is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        path = "->".join(l.name for l in self.links)
+        return f"<NetFlow {self.label or path} remaining={self.remaining:.3g}>"
+
+
+def progressive_fill(flows: list[NetFlow], links: Iterable[Link]) -> None:
+    """Set ``flow.rate`` for every flow to the max-min fair allocation."""
+    for f in flows:
+        f.rate = 0.0
+    if not flows:
+        for l in links:
+            l.used_rate = 0.0
+        return
+    avail = {l: l.capacity for l in links}
+    unfixed = set(flows)
+    # Count unfixed flows per link once per round.
+    guard = len(flows) + len(avail) + 2
+    while unfixed and guard > 0:
+        guard -= 1
+        counts: dict[Link, int] = {}
+        for f in unfixed:
+            for l in f.links:
+                counts[l] = counts.get(l, 0) + 1
+        delta = math.inf
+        for l, n in counts.items():
+            delta = min(delta, avail[l] / n)
+        for f in unfixed:
+            delta = min(delta, f.cap - f.rate)
+        if delta < 0:
+            delta = 0.0
+        for f in unfixed:
+            f.rate += delta
+        for l, n in counts.items():
+            avail[l] -= delta * n
+        newly_fixed = set()
+        saturated = {l for l, n in counts.items()
+                     if avail[l] <= _EPS * max(l.capacity, 1.0)}
+        for f in unfixed:
+            if f.rate >= f.cap - _EPS or any(l in saturated for l in f.links):
+                newly_fixed.add(f)
+        if not newly_fixed:
+            break  # numerical stalemate; rates are already fair enough
+        unfixed -= newly_fixed
+    for l in links:
+        l.used_rate = 0.0
+    for f in flows:
+        for l in f.links:
+            l.used_rate += f.rate
+
+
+class FlowNetwork:
+    """Event-driven fluid network: owns links and active flows."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._links: dict[str, Link] = {}
+        self._flows: list[NetFlow] = []
+        self._last_update = env.now
+        self._wakeup_token = 0
+
+    # -- topology -------------------------------------------------------------
+    def add_link(self, name: str, capacity: float) -> Link:
+        if name in self._links:
+            raise SimulationError(f"duplicate link {name!r}")
+        link = Link(name, capacity)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        return self._links[name]
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links.values())
+
+    @property
+    def flows(self) -> tuple[NetFlow, ...]:
+        return tuple(self._flows)
+
+    # -- flows ----------------------------------------------------------------
+    def transfer(self, links: Iterable[Link], nbytes: float | None,
+                 cap: float = math.inf, label: str = "") -> NetFlow:
+        """Start a transfer across *links*; wait on ``flow.done``."""
+        if cap <= 0:
+            raise SimulationError("flow cap must be positive")
+        self._settle()
+        path = tuple(links)
+        if not path:
+            raise SimulationError("a flow needs at least one link")
+        for l in path:
+            if self._links.get(l.name) is not l:
+                raise SimulationError(f"link {l.name!r} not in this network")
+        flow = NetFlow(self.env, path, nbytes, cap, label)
+        if flow.remaining <= _EPS and not flow.persistent:
+            flow.finished_at = self.env.now
+            flow.done.succeed(flow)
+            return flow
+        self._flows.append(flow)
+        self._rebalance()
+        return flow
+
+    def remove(self, flow: NetFlow) -> float:
+        """Withdraw a flow; returns remaining work."""
+        self._settle()
+        if flow not in self._flows:
+            return 0.0
+        self._flows.remove(flow)
+        remaining = flow.remaining
+        flow.rate = 0.0
+        if not flow.persistent and not flow.done.triggered:
+            flow.done.fail(SimulationError(f"flow {flow.label!r} cancelled"))
+        self._rebalance()
+        return remaining
+
+    def consume(self, links: Iterable[Link], nbytes: float,
+                cap: float = math.inf, label: str = ""):
+        """``yield from``-able: transfer and wait, withdrawing on interrupt."""
+        flow = self.transfer(links, nbytes, cap, label)
+        try:
+            yield flow.done
+        except BaseException:
+            if flow in self._flows:
+                self._flows.remove(flow)
+                flow.rate = 0.0
+                self._rebalance()
+            raise
+        return flow
+
+    def busy_time(self, link: Link) -> float:
+        """Capacity-normalized busy integral of *link*."""
+        self._settle()
+        return link._busy_integral / link.capacity
+
+    def settle(self) -> None:
+        """Bring byte integrals up to the current time (for probes)."""
+        self._settle()
+
+    # -- internals --------------------------------------------------------------
+    def _settle(self) -> None:
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            return
+        for f in self._flows:
+            if f.rate > 0:
+                if not f.persistent:
+                    f.remaining -= f.rate * dt
+                    if f.remaining < 0:
+                        f.remaining = 0.0
+                prefix, sep, _rest = f.label.partition(":")
+                if sep:
+                    moved = f.rate * dt
+                    for l in f.links:
+                        l.class_bytes[prefix] = \
+                            l.class_bytes.get(prefix, 0.0) + moved
+        for l in self._links.values():
+            l._busy_integral += l.used_rate * dt
+        self._last_update = now
+
+    def _rebalance(self) -> None:
+        now = self.env.now
+        # See FluidResource._rebalance: completions below the float clock's
+        # resolution at `now` must drain immediately to avoid a zero-advance
+        # wakeup spin.
+        min_dt = max(math.nextafter(now, math.inf) - now, 1e-12)
+        while True:
+            finished = [f for f in self._flows
+                        if not f.persistent and f.remaining <= _EPS]
+            for f in finished:
+                self._flows.remove(f)
+                f.rate = 0.0
+                f.remaining = 0.0
+                f.finished_at = now
+                f.done.succeed(f)
+            progressive_fill(self._flows, self._links.values())
+            horizon = math.inf
+            for f in self._flows:
+                if f.rate > 0 and not f.persistent:
+                    horizon = min(horizon, f.remaining / f.rate)
+            if horizon >= min_dt or horizon is math.inf:
+                break
+            for f in self._flows:
+                if (not f.persistent and f.rate > 0
+                        and f.remaining / f.rate < min_dt):
+                    f.remaining = 0.0
+        self._wakeup_token += 1
+        token = self._wakeup_token
+        if horizon is not math.inf:
+            self.env.schedule_callback(horizon, lambda: self._on_wakeup(token))
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return
+        self._settle()
+        self._rebalance()

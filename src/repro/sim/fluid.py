@@ -1,0 +1,247 @@
+"""Fluid (rate-based) resource sharing.
+
+Contention on NICs, memory bandwidth and CPU cores is modeled with the
+classic *fluid-flow* abstraction: each consumer is a :class:`Flow` with a
+fixed amount of *work* (bytes, or CPU-seconds) and an optional per-flow rate
+cap (a task that asked for 4 cores can never use more than 4 core-seconds
+per second).  The resource divides its capacity among active flows by
+**max-min fairness**: rates rise equally until a flow hits its cap, then the
+leftover is redistributed.  Completions are event-driven: whenever the flow
+set changes, rates are recomputed and the next completion is rescheduled.
+
+This single abstraction reproduces the contention effects the paper relies
+on: an extra store flow on a victim NIC takes a fair share away from the
+tenant's shuffle traffic; store ingest on the memory bus slows STREAM by
+exactly the bandwidth it consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .kernel import Environment, Event, SimulationError
+
+__all__ = ["Flow", "FluidResource", "maxmin_allocate"]
+
+_EPS = 1e-9
+
+
+def maxmin_allocate(capacity: float, caps: list[float]) -> list[float]:
+    """Max-min fair allocation of *capacity* among flows with rate *caps*.
+
+    Returns a rate per flow, in the input order.  Uncapped flows pass
+    ``math.inf``.  Runs in O(n log n).
+    """
+    n = len(caps)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: caps[i])
+    rates = [0.0] * n
+    remaining = capacity
+    for pos, idx in enumerate(order):
+        share = remaining / (n - pos)
+        rate = min(caps[idx], share)
+        rates[idx] = rate
+        remaining -= rate
+    return rates
+
+
+class Flow:
+    """A unit of demand on a :class:`FluidResource`.
+
+    *work* is the total amount to transfer/compute (bytes or CPU-seconds);
+    *cap* bounds the instantaneous rate.  ``done`` triggers when the work
+    drains.  A flow with ``work=None`` is *persistent*: it consumes its fair
+    share forever (used for steady background demands) and must be removed
+    explicitly.
+    """
+
+    __slots__ = ("resource", "work", "remaining", "cap", "rate", "done",
+                 "label", "started_at", "finished_at")
+
+    def __init__(self, resource: "FluidResource", work: float | None,
+                 cap: float = math.inf, label: str = ""):
+        if work is not None and work < 0:
+            raise SimulationError(f"negative flow work: {work}")
+        if cap <= 0:
+            raise SimulationError(f"flow cap must be positive, got {cap}")
+        self.resource = resource
+        self.work = work
+        self.remaining = math.inf if work is None else float(work)
+        self.cap = float(cap)
+        self.rate = 0.0
+        self.done: Event = resource.env.event()
+        self.label = label
+        self.started_at = resource.env.now
+        self.finished_at: float | None = None
+
+    @property
+    def persistent(self) -> bool:
+        return self.work is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow {self.label or id(self):#x} remaining={self.remaining:.3g}"
+                f" rate={self.rate:.3g}>")
+
+
+class FluidResource:
+    """A single shared capacity (one NIC direction, one memory bus, one CPU
+    socket pair) dividing its rate among flows by capped max-min fairness."""
+
+    def __init__(self, env: Environment, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = float(capacity)
+        self.name = name
+        self._flows: list[Flow] = []
+        self._last_update = env.now
+        self._wakeup: Event | None = None
+        self._wakeup_token = 0
+        # Integral of used rate over time, for utilization accounting.
+        self._busy_integral = 0.0
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def flows(self) -> tuple[Flow, ...]:
+        return tuple(self._flows)
+
+    @property
+    def used_rate(self) -> float:
+        """Instantaneous total allocated rate."""
+        return sum(f.rate for f in self._flows)
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        return self.used_rate / self.capacity
+
+    def busy_time(self) -> float:
+        """Capacity-normalized busy integral: ∫ used/capacity dt."""
+        self._settle()
+        return self._busy_integral / self.capacity
+
+    def submit(self, work: float | None, cap: float = math.inf,
+               label: str = "") -> Flow:
+        """Add a flow; returns it (wait on ``flow.done`` for completion)."""
+        self._settle()
+        flow = Flow(self, work, cap, label)
+        if flow.remaining <= _EPS and not flow.persistent:
+            flow.finished_at = self.env.now
+            flow.done.succeed(flow)
+            return flow
+        self._flows.append(flow)
+        self._rebalance()
+        return flow
+
+    def remove(self, flow: Flow) -> float:
+        """Withdraw a flow (e.g. a persistent demand, or a cancel).
+
+        Returns the work still remaining.  The ``done`` event of a
+        non-persistent flow is failed so waiters do not hang.
+        """
+        self._settle()
+        if flow not in self._flows:
+            return 0.0
+        self._flows.remove(flow)
+        remaining = flow.remaining
+        flow.rate = 0.0
+        if not flow.persistent and not flow.done.triggered:
+            flow.done.fail(SimulationError(f"flow {flow.label!r} cancelled"))
+        self._rebalance()
+        return remaining
+
+    def adjust_capacity(self, capacity: float) -> None:
+        """Change capacity at the current time (e.g. container re-cap)."""
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self._settle()
+        self.capacity = float(capacity)
+        self._rebalance()
+
+    def adjust_cap(self, flow: Flow, cap: float) -> None:
+        """Change a flow's rate cap at the current time."""
+        if cap <= 0:
+            raise SimulationError(f"flow cap must be positive, got {cap}")
+        self._settle()
+        flow.cap = float(cap)
+        self._rebalance()
+
+    # -- generator helper ----------------------------------------------------
+    def consume(self, work: float, cap: float = math.inf, label: str = ""):
+        """``yield from``-able helper: submit and wait for completion."""
+        flow = self.submit(work, cap, label)
+        try:
+            yield flow.done
+        except BaseException:
+            # Interrupted while flowing: withdraw our demand before unwinding.
+            if flow in self._flows:
+                self._flows.remove(flow)
+                flow.rate = 0.0
+                self._rebalance()
+            raise
+        return flow
+
+    # -- internals -----------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance every flow's progress from the last update to now."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            return
+        used = 0.0
+        for f in self._flows:
+            if f.rate > 0 and not f.persistent:
+                f.remaining -= f.rate * dt
+                if f.remaining < 0:
+                    f.remaining = 0.0
+            used += f.rate
+        self._busy_integral += used * dt
+        self._last_update = now
+
+    def _rebalance(self) -> None:
+        """Recompute max-min rates, complete drained flows, schedule wakeup."""
+        now = self.env.now
+        # The smallest delay the float clock can actually represent at `now`;
+        # a flow finishing sooner than this must complete immediately or the
+        # wakeup would be scheduled at `now + dt == now` and spin forever.
+        min_dt = max(math.nextafter(now, math.inf) - now, 1e-12)
+        while True:
+            finished = [f for f in self._flows
+                        if not f.persistent and f.remaining <= _EPS]
+            for f in finished:
+                self._flows.remove(f)
+                f.rate = 0.0
+                f.remaining = 0.0
+                f.finished_at = now
+                f.done.succeed(f)
+            caps = [f.cap for f in self._flows]
+            rates = maxmin_allocate(self.capacity, caps)
+            for f, r in zip(self._flows, rates):
+                f.rate = r
+            horizon = math.inf
+            for f in self._flows:
+                if f.rate > 0 and not f.persistent:
+                    horizon = min(horizon, f.remaining / f.rate)
+            if horizon >= min_dt or horizon is math.inf:
+                break
+            # Sub-resolution completions: drain them at the current instant.
+            for f in self._flows:
+                if (not f.persistent and f.rate > 0
+                        and f.remaining / f.rate < min_dt):
+                    f.remaining = 0.0
+        self._wakeup_token += 1
+        token = self._wakeup_token
+        if horizon is not math.inf:
+            self.env.schedule_callback(horizon, lambda: self._on_wakeup(token))
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return  # superseded by a later rebalance
+        self._settle()
+        self._rebalance()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FluidResource {self.name!r} cap={self.capacity:.3g} "
+                f"flows={len(self._flows)}>")

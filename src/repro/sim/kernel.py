@@ -1,0 +1,382 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES in the style of SimPy.  Model
+code is written as generator functions ("processes") that ``yield`` waitable
+objects: :class:`Timeout`, :class:`Event`, :class:`Process`, or the
+combinators :class:`AllOf` / :class:`AnyOf`.  The :class:`Environment` owns
+the event calendar and advances virtual time.
+
+The kernel is intentionally free of any domain knowledge; the cluster,
+network and workload models in the sibling packages are all built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The optional *cause* carries application data (e.g. an eviction notice
+    from a victim node's memory-pressure monitor).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once, resuming all waiting processes in FIFO order
+    of registration.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (value is final and delivered)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule_event(self)
+        return self
+
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately so late waiters don't hang.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule_event(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers when the generator
+    returns (success, with its return value) or raises (failure)."""
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str | None = None):
+        if not isinstance(generator, Generator):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: start the generator at the current sim time.
+        boot = Event(env)
+        boot._triggered = True
+        boot._ok = True
+        env._schedule_event(boot)
+        boot._add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"{self.name} already terminated")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        kick = Event(self.env)
+        kick._triggered = True
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        # Detach from whatever we were waiting on so the stale wakeup
+        # (if it later fires) is ignored.
+        self._detach()
+        self.env._schedule_event(kick)
+        kick._add_callback(self._resume)
+
+    def _detach(self) -> None:
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # stale wakeup after interrupt/termination
+        if self._waiting_on is not None and event is not self._waiting_on \
+                and not (event._ok is False and isinstance(event._value, Interrupt)):
+            return  # stale wakeup from an event we stopped waiting on
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                exc = event._value
+                target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.env._active_process = None
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if not self._triggered:
+                self.fail(exc)
+            if not self.env._catch_process_errors:
+                raise
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            self.generator.throw(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        if target is self:
+            self.generator.throw(SimulationError(
+                f"process {self.name!r} cannot wait on itself"))
+            return
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {'done' if self._triggered else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf combinators over a fixed set of events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for ev in self.events:
+                ev._add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed or ev.triggered}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered (fails fast on error)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Event calendar and virtual clock.
+
+    Ties are broken by insertion order, making runs fully deterministic
+    for a fixed model and seed.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Process | None = None
+        # Process failures are delivered through the process event (so a
+        # parent waiting on it — directly, via run(until=...), or through
+        # AllOf/AnyOf — re-raises them) instead of tearing down the whole
+        # event loop; a crashed background task must not take unrelated
+        # simulation state with it.
+        self._catch_process_errors = True
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling & running ------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* after *delay*; returns the underlying timeout event."""
+        ev = self.timeout(delay)
+        ev._add_callback(lambda _e: fn())
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event calendar")
+        when, _tie, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the calendar drains, a deadline passes, or an event fires.
+
+        Returns the event's value when *until* is an :class:`Event`.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)")
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline}) is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

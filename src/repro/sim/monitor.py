@@ -1,0 +1,106 @@
+"""Time-series monitoring of simulated resources.
+
+A :class:`Monitor` samples arbitrary probe callables at a fixed virtual-time
+interval, mirroring the 1 Hz `sar`/`collectl`-style node monitoring the
+paper's Figure 2 plots are drawn from.  Samples accumulate in plain lists;
+:meth:`series` returns NumPy arrays for analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .kernel import Environment
+
+__all__ = ["Monitor", "TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def mean(self, t_start: float | None = None,
+             t_end: float | None = None) -> float:
+        """Average value over a window (default: the whole series)."""
+        if not self.values:
+            return 0.0
+        t, v = self.as_arrays()
+        mask = np.ones(len(t), dtype=bool)
+        if t_start is not None:
+            mask &= t >= t_start
+        if t_end is not None:
+            mask &= t <= t_end
+        if not mask.any():
+            return 0.0
+        return float(v[mask].mean())
+
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q)) if self.values else 0.0
+
+
+class Monitor:
+    """Samples a set of named probes every *interval* simulated seconds.
+
+    Probes are zero-argument callables returning a float (e.g.
+    ``lambda: nic.utilization``).  Sampling stops when :meth:`stop` is called
+    or the simulation drains.
+    """
+
+    def __init__(self, env: Environment, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.env = env
+        self.interval = interval
+        self._probes: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, TimeSeries] = {}
+        self._running = False
+        self._stopped = False
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> TimeSeries:
+        if name in self._probes:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes[name] = probe
+        ts = TimeSeries(name)
+        self.series[name] = ts
+        return ts
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("monitor already started")
+        self._running = True
+        self.env.process(self._sampler(), name="monitor")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _sampler(self):
+        while not self._stopped:
+            t = self.env.now
+            for name, probe in self._probes.items():
+                self.series[name].append(t, float(probe()))
+            yield self.env.timeout(self.interval)
+
+    def mean(self, name: str, t_start: float | None = None,
+             t_end: float | None = None) -> float:
+        return self.series[name].mean(t_start, t_end)

@@ -1,0 +1,14 @@
+"""Redis stand-in: capacity-accounted KV stores served at simulated cost."""
+
+from .kvstore import KVStore, KeyMissing, StoreFull
+from .auth import AuthError, AuthPolicy
+from .protocol import Op, RateTracker, Request, Response, StoreCostModel
+from .server import StoreError, StoreServer
+from .client import StoreClient
+
+__all__ = [
+    "KVStore", "KeyMissing", "StoreFull",
+    "AuthPolicy", "AuthError",
+    "Op", "Request", "Response", "StoreCostModel", "RateTracker",
+    "StoreServer", "StoreError", "StoreClient",
+]

@@ -1,0 +1,39 @@
+"""Store authentication (paper §III-F, mechanism 1).
+
+MemFSS runs Redis with AUTH enabled so that *"only the clients residing on
+the own nodes could send requests"*.  We model the same policy: a shared
+password plus an allow-list of client node names.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["AuthPolicy", "AuthError"]
+
+
+class AuthError(PermissionError):
+    """Request rejected by the store's authentication policy."""
+
+
+class AuthPolicy:
+    """Password + node allow-list checked on every request."""
+
+    def __init__(self, password: str, allowed_nodes: Iterable[str] | None = None):
+        if not password:
+            raise ValueError("password must be non-empty")
+        self.password = password
+        self._allowed: set[str] | None = (
+            set(allowed_nodes) if allowed_nodes is not None else None)
+
+    def allow_node(self, node_name: str) -> None:
+        if self._allowed is None:
+            self._allowed = set()
+        self._allowed.add(node_name)
+
+    def check(self, password: str, node_name: str) -> None:
+        """Raise :class:`AuthError` unless the credentials pass."""
+        if password != self.password:
+            raise AuthError(f"bad password from {node_name}")
+        if self._allowed is not None and node_name not in self._allowed:
+            raise AuthError(f"node {node_name!r} not on the allow-list")

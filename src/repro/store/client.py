@@ -1,0 +1,103 @@
+"""Store client: the own-node side of the store protocol.
+
+Each own node (the only nodes allowed by the AUTH policy, §III-F) runs one
+client.  All methods are generators to be driven inside a simulation
+process::
+
+    resp_bytes, payload = yield from client.get(server, "stripe-3")
+
+Round-trip latency is charged here (request + response legs); payload and
+service costs are charged by the server (:mod:`repro.store.server`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..cluster.network import Fabric
+from ..cluster.node import Node
+from ..sim import Environment
+from .protocol import Op, Request, Response
+from .server import StoreError, StoreServer
+
+__all__ = ["StoreClient"]
+
+
+class StoreClient:
+    """Issues requests from one node to any store server."""
+
+    def __init__(self, env: Environment, fabric: Fabric, node: Node,
+                 password: str = ""):
+        self.env = env
+        self.fabric = fabric
+        self.node = node
+        self.password = password
+
+    def request(self, server: StoreServer, req: Request):
+        """Generator: full round trip; returns the :class:`Response`."""
+        rtt_leg = self.fabric.latency(self.node, server.node)
+        if rtt_leg > 0:
+            yield self.env.timeout(rtt_leg)
+        resp: Response = yield from server.serve(req, self.node)
+        if rtt_leg > 0:
+            yield self.env.timeout(rtt_leg)
+        return resp
+
+    def _checked(self, server: StoreServer, req: Request):
+        resp = yield from self.request(server, req)
+        if not resp.ok:
+            code = resp.error.split(":", 1)[0]
+            raise StoreError(code, resp.error)
+        return resp.value
+
+    # -- operations ---------------------------------------------------------------
+    def put(self, server: StoreServer, key: Hashable,
+            nbytes: float | None = None, payload: bytes | None = None,
+            batch: int = 1):
+        """Store a value; returns the stored size."""
+        return (yield from self._checked(server, Request(
+            Op.PUT, key=key, nbytes=nbytes, payload=payload, batch=batch,
+            password=self.password, client_node=self.node.name)))
+
+    def get(self, server: StoreServer, key: Hashable, batch: int = 1):
+        """Fetch a value; returns ``(nbytes, payload_or_None)``."""
+        return (yield from self._checked(server, Request(
+            Op.GET, key=key, batch=batch, password=self.password,
+            client_node=self.node.name)))
+
+    def delete(self, server: StoreServer, key: Hashable):
+        """Delete a key; returns the bytes released."""
+        return (yield from self._checked(server, Request(
+            Op.DELETE, key=key, password=self.password,
+            client_node=self.node.name)))
+
+    def exists(self, server: StoreServer, key: Hashable):
+        return (yield from self._checked(server, Request(
+            Op.EXISTS, key=key, password=self.password,
+            client_node=self.node.name)))
+
+    def flush(self, server: StoreServer):
+        return (yield from self._checked(server, Request(
+            Op.FLUSH, password=self.password, client_node=self.node.name)))
+
+    def info(self, server: StoreServer):
+        return (yield from self._checked(server, Request(
+            Op.INFO, password=self.password, client_node=self.node.name)))
+
+    def sadd(self, server: StoreServer, key: Hashable, member: str):
+        """Add a member to a server-side set; returns True if new."""
+        return (yield from self._checked(server, Request(
+            Op.SADD, key=key, member=member, password=self.password,
+            client_node=self.node.name)))
+
+    def srem(self, server: StoreServer, key: Hashable, member: str):
+        """Remove a member from a server-side set; returns True if present."""
+        return (yield from self._checked(server, Request(
+            Op.SREM, key=key, member=member, password=self.password,
+            client_node=self.node.name)))
+
+    def smembers(self, server: StoreServer, key: Hashable):
+        """Members of a server-side set (frozenset)."""
+        return (yield from self._checked(server, Request(
+            Op.SMEMBERS, key=key, password=self.password,
+            client_node=self.node.name)))

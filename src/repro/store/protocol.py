@@ -1,0 +1,107 @@
+"""Request/response types and cost model for the store protocol."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..units import GB
+
+__all__ = ["Op", "Request", "Response", "StoreCostModel", "RateTracker"]
+
+
+class Op(enum.Enum):
+    PUT = "put"
+    GET = "get"
+    DELETE = "delete"
+    EXISTS = "exists"
+    FLUSH = "flush"
+    INFO = "info"
+    # Set-valued operations (Redis SADD/SREM/SMEMBERS): used for directory
+    # entries so concurrent metadata updates are server-side atomic.
+    SADD = "sadd"
+    SREM = "srem"
+    SMEMBERS = "smembers"
+
+
+@dataclass(frozen=True)
+class Request:
+    op: Op
+    key: Hashable = None
+    nbytes: float | None = None
+    payload: bytes | None = None
+    member: str | None = None   # for SADD / SREM
+    # A request may stand for a *batch* of `batch` small application-level
+    # requests (e.g. one bundle of Montage's 1-4 MB files).  Bytes are the
+    # payload total; per-request CPU and the arrival-rate tracker are
+    # charged `batch` times, preserving the latency-interference behaviour
+    # of many-small-request workloads at a fraction of the event count.
+    batch: int = 1
+    password: str = ""
+    client_node: str = ""
+
+
+@dataclass
+class Response:
+    ok: bool
+    value: Any = None
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class StoreCostModel:
+    """Resource cost per store request, at measured Redis-over-IPoIB scale:
+    the single-threaded Redis event loop sustains ~1.5 GB/s of payload per
+    core (protocol parsing + memcpy + kernel TCP/IPoIB), a request costs
+    tens of microseconds of CPU, and every stored byte crosses the memory
+    bus about twice (socket buffer in, value store out).
+
+    These constants drive the victim-side bounds of Fig. 2 (CPU < 5 %, NIC
+    < 16 %), the receiver-bound slowdown of the α = 100 % case in Fig. 2f,
+    and the memory-bandwidth interference felt by STREAM in Fig. 3.
+    """
+
+    cpu_per_request: float = 30e-6          # core-seconds per request
+    cpu_per_byte: float = 1.0 / (1.5 * GB)  # core-seconds per payload byte
+    membw_copy_factor: float = 2.0          # memory-bus bytes per payload byte
+    key_overhead: float = 128.0             # store metadata bytes per key
+
+    def cpu_work(self, nbytes: float) -> float:
+        return self.cpu_per_request + self.cpu_per_byte * nbytes
+
+    def membw_work(self, nbytes: float) -> float:
+        return self.membw_copy_factor * nbytes
+
+
+class RateTracker:
+    """Exponentially-decayed event rate (events/s).
+
+    Tracks the store's request arrival rate; tenants' latency-sensitive
+    phases read it to compute interference (the paper's BLAST-vs-dd effect:
+    many small requests inflate MPI latency more than few large ones).
+    """
+
+    __slots__ = ("tau", "_rate", "_last")
+
+    def __init__(self, tau: float = 2.0):
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = tau
+        self._rate = 0.0
+        self._last = 0.0
+
+    def record(self, now: float, count: float = 1.0) -> None:
+        self._decay(now)
+        self._rate += count / self.tau
+
+    def rate(self, now: float) -> float:
+        self._decay(now)
+        return self._rate
+
+    def _decay(self, now: float) -> None:
+        dt = now - self._last
+        if dt > 0:
+            self._rate *= math.exp(-dt / self.tau)
+            self._last = now

@@ -1,0 +1,255 @@
+"""The store server process model.
+
+A :class:`StoreServer` is one Redis stand-in bound to a node.  Serving a
+request costs, concurrently:
+
+- **CPU** on the serving node (fixed per-request cost + per-byte cost,
+  capped at one core — Redis is single-threaded);
+- **memory bandwidth** on the serving node (socket-buffer copies,
+  ``membw_copy_factor`` bus bytes per payload byte);
+- **network** between client and server through the shared fabric.
+
+On victim nodes the server runs inside a :class:`~repro.cluster.Container`
+whose caps bound its memory footprint, CPU rate and NIC rate (§III-F).
+Request arrivals feed a :class:`~repro.store.protocol.RateTracker`; the
+tenants' latency-sensitive phases read it as the OS-level disturbance term
+(the paper's explanation of why BLAST hurts HPCC latency more than dd).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from ..cluster.container import CapExceeded, Container
+from ..cluster.network import Fabric
+from ..cluster.node import Node, OutOfMemory
+from ..sim import Environment, FluidResource
+from .auth import AuthError, AuthPolicy
+from .kvstore import KVStore, KeyMissing, StoreFull
+from .protocol import Op, RateTracker, Request, Response, StoreCostModel
+
+__all__ = ["StoreServer", "StoreError"]
+
+_ids = itertools.count()
+
+
+class StoreError(RuntimeError):
+    """A request failed at the server (code mirrors the cause)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class StoreServer:
+    """One in-memory store bound to a node, serving requests at a cost."""
+
+    def __init__(self, env: Environment, node: Node, fabric: Fabric,
+                 capacity: float, name: str | None = None,
+                 auth: AuthPolicy | None = None,
+                 container: Container | None = None,
+                 costs: StoreCostModel = StoreCostModel()):
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.name = name or f"store{next(_ids)}@{node.name}"
+        self.auth = auth
+        self.container = container
+        self.costs = costs
+        if container is not None:
+            capacity = min(capacity, container.caps.memory)
+        self.kv = KVStore(capacity, key_overhead=costs.key_overhead)
+        # The Redis event loop is single-threaded: all of this server's
+        # request CPU work serializes through one core's worth of capacity
+        # (less, if the container caps CPU tighter).  This is what bounds a
+        # node's ingest at ~1.5 GB/s and makes the α = 100 % case of
+        # Fig. 2f receiver-bound.
+        self.loop = FluidResource(env, capacity=self.cpu_cap,
+                                  name=f"{self.name}.loop")
+        self.request_rate = RateTracker()
+        self.requests_served = 0
+        self._mem_owner = f"store:{self.name}"
+        self._accounted = 0.0
+
+    # -- resource caps ------------------------------------------------------------
+    @property
+    def cpu_cap(self) -> float:
+        cap = 1.0  # single-threaded event loop
+        if self.container is not None:
+            cap = min(cap, self.container.cpu_cap)
+        return cap
+
+    @property
+    def net_cap(self) -> float:
+        """Per-transfer rate ceiling from the container, if any.  (The
+        TCP/IPoIB ceiling is enforced by the per-node IPoIB links the
+        store's flows cross — see :class:`repro.cluster.Fabric`.)"""
+        return self.container.net_cap if self.container is not None else math.inf
+
+    def request_rate_now(self) -> float:
+        return self.request_rate.rate(self.env.now)
+
+    # -- memory accounting ----------------------------------------------------------
+    def _sync_memory(self) -> None:
+        """Mirror the KV footprint into node/container accounting."""
+        delta = self.kv.used_bytes - self._accounted
+        if delta > 0:
+            if self.container is not None:
+                self.container.allocate(delta)
+            else:
+                self.node.allocate_memory(self._mem_owner, delta)
+        elif delta < 0:
+            if self.container is not None:
+                self.container.free(-delta)
+            else:
+                self.node.free_memory(self._mem_owner, -delta)
+        self._accounted = self.kv.used_bytes
+
+    @property
+    def memory_used(self) -> float:
+        return self._accounted
+
+    # -- serving ------------------------------------------------------------------
+    def serve(self, request: Request, client_node: Node):
+        """Generator: performs the request, returns a :class:`Response`.
+
+        Call as ``resp = yield from server.serve(req, my_node)`` — normally
+        through :class:`~repro.store.client.StoreClient`.
+        """
+        if self.auth is not None:
+            try:
+                self.auth.check(request.password, client_node.name)
+            except AuthError as exc:
+                return Response(ok=False, error=f"auth: {exc}")
+        batch = max(1, int(request.batch))
+        self.request_rate.record(self.env.now, count=batch)
+        self.requests_served += batch
+
+        op = request.op
+        if op is Op.PUT:
+            size = (float(len(request.payload)) if request.payload is not None
+                    else float(request.nbytes or 0.0))
+            yield from self._pay_costs(size, src=client_node, dst=self.node,
+                                       batch=batch)
+            try:
+                self.kv.put(request.key, nbytes=request.nbytes,
+                            payload=request.payload)
+                self._sync_memory()
+            except (StoreFull, CapExceeded, OutOfMemory) as exc:
+                return Response(ok=False, error=f"full: {exc}")
+            except ValueError as exc:
+                return Response(ok=False, error=f"bad-request: {exc}")
+            return Response(ok=True, value=size)
+
+        if op is Op.GET:
+            try:
+                nbytes, payload = self.kv.get(request.key)
+            except KeyMissing:
+                return Response(ok=False, error=f"missing: {request.key!r}")
+            yield from self._pay_costs(nbytes, src=self.node, dst=client_node,
+                                       batch=batch)
+            return Response(ok=True, value=(nbytes, payload))
+
+        if op is Op.DELETE:
+            try:
+                released = self.kv.delete(request.key)
+                self._sync_memory()
+            except KeyMissing:
+                return Response(ok=False, error=f"missing: {request.key!r}")
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            return Response(ok=True, value=released)
+
+        if op is Op.EXISTS:
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            return Response(ok=True, value=self.kv.contains(request.key))
+
+        if op is Op.FLUSH:
+            released = self.kv.flush()
+            self._sync_memory()
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            return Response(ok=True, value=released)
+
+        if op is Op.INFO:
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            return Response(ok=True, value=self.kv.info())
+
+        if op is Op.SADD:
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            try:
+                added = self.kv.sadd(request.key, request.member or "")
+                self._sync_memory()
+            except (StoreFull, CapExceeded, OutOfMemory) as exc:
+                return Response(ok=False, error=f"full: {exc}")
+            except TypeError as exc:
+                return Response(ok=False, error=f"bad-request: {exc}")
+            return Response(ok=True, value=added)
+
+        if op is Op.SREM:
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            try:
+                removed = self.kv.srem(request.key, request.member or "")
+                self._sync_memory()
+            except TypeError as exc:
+                return Response(ok=False, error=f"bad-request: {exc}")
+            return Response(ok=True, value=removed)
+
+        if op is Op.SMEMBERS:
+            yield from self._pay_costs(0.0, src=client_node, dst=self.node)
+            try:
+                members = self.kv.smembers(request.key)
+            except TypeError as exc:
+                return Response(ok=False, error=f"bad-request: {exc}")
+            return Response(ok=True, value=members)
+
+        return Response(ok=False, error=f"bad-request: unknown op {op}")
+
+    def _pay_costs(self, nbytes: float, src: Node, dst: Node,
+                   batch: int = 1):
+        """Concurrently pay CPU + memory-bandwidth + network for a payload."""
+        cpu_work = (self.costs.cpu_per_request * batch
+                    + self.costs.cpu_per_byte * nbytes)
+        # Serialize through the single-threaded event loop *and* account the
+        # same work on the node's CPU (where it contends with tenant
+        # compute); the request waits for both, so a busy node slows the
+        # store and a busy store never exceeds one core.
+        loop_flow = self.loop.submit(cpu_work, label=f"store:{self.name}.loop")
+        cpu_flow = self.node.cpu.submit(
+            cpu_work, cap=self.cpu_cap,
+            label=f"store:{self.name}.cpu")
+        membw_flow = None
+        if nbytes > 0:
+            membw_flow = self.node.membw.submit(
+                self.costs.membw_work(nbytes), label=f"store:{self.name}.membw")
+        net_flow = None
+        if nbytes > 0:
+            net_flow = self.fabric.transfer(src, dst, nbytes,
+                                            cap=self.net_cap,
+                                            label=f"store:{self.name}.net",
+                                            transport="tcp")
+        waits = [loop_flow.done, cpu_flow.done] + \
+            ([membw_flow.done] if membw_flow else []) + \
+            ([net_flow.done] if net_flow else [])
+        try:
+            yield self.env.all_of(waits)
+        except BaseException:
+            # Interrupted mid-request (e.g. eviction): withdraw leftovers.
+            self.loop.remove(loop_flow)
+            self.node.cpu.remove(cpu_flow)
+            if membw_flow is not None:
+                self.node.membw.remove(membw_flow)
+            if net_flow is not None:
+                self.fabric.net.remove(net_flow)
+            raise
+
+    # -- lifecycle ---------------------------------------------------------------
+    def shutdown(self) -> float:
+        """Flush the store and release all accounted memory."""
+        released = self.kv.flush()
+        self._sync_memory()
+        if self.container is not None:
+            self.container.release()
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StoreServer {self.name}>"

@@ -1,0 +1,26 @@
+"""Tenant (victim-side) benchmark models: HPCC and HiBench on Hadoop/Spark."""
+
+from .base import (AllocPhase, ComputePhase, DiskPhase,
+                   FrameworkComputePhase, FreePhase, InterferenceProbe,
+                   LatencyPhase, MemBandwidthPhase, NetworkPhase, Phase,
+                   PhaseContext, PhasedWorkload, SleepPhase, TenantRun,
+                   run_tenant, LATENCY_DISTURBANCE, MEMBW_POLLUTION)
+from .hpcc import HPCC_BENCHMARKS, hpcc_benchmark, hpcc_suite
+from .mapreduce import MapReduceSpec, mapreduce_job
+from .spark import GC_SENSITIVITY, GcComputePhase, SparkJobSpec, spark_job
+from .hibench import (HIBENCH_HADOOP, HIBENCH_SPARK, hibench_hadoop,
+                      hibench_hadoop_suite, hibench_spark,
+                      hibench_spark_suite)
+
+__all__ = [
+    "Phase", "PhaseContext", "PhasedWorkload", "TenantRun", "run_tenant",
+    "ComputePhase", "MemBandwidthPhase", "NetworkPhase", "LatencyPhase",
+    "DiskPhase", "AllocPhase", "FreePhase", "SleepPhase",
+    "FrameworkComputePhase",
+    "InterferenceProbe", "MEMBW_POLLUTION", "LATENCY_DISTURBANCE",
+    "HPCC_BENCHMARKS", "hpcc_benchmark", "hpcc_suite",
+    "MapReduceSpec", "mapreduce_job",
+    "SparkJobSpec", "spark_job", "GcComputePhase", "GC_SENSITIVITY",
+    "HIBENCH_HADOOP", "HIBENCH_SPARK", "hibench_hadoop", "hibench_spark",
+    "hibench_hadoop_suite", "hibench_spark_suite",
+]

@@ -1,0 +1,177 @@
+"""HiBench benchmark definitions (paper §IV-C, Figs. 4-5).
+
+The paper selects six representative HiBench benchmarks and names each
+one's dominant resources; the specs below encode exactly those mixes at
+the "big data" input scale (per-node volumes on 32 workers):
+
+- **KMeans** — "mostly CPU-intensive, but also has a high I/O utilization"
+- **PageRank** — "CPU-bound, but has a highly variable CPU utilization"
+  (iterative: compute bursts alternating with joins/shuffles)
+- **WordCount** — "CPU-bound, but also has a high memory usage"
+- **TeraSort** — "CPU-intensive in the map-phase, utilizes a large amount
+  of memory and ... a large network traffic in the shuffle phase"
+- **DFSIO-read / DFSIO-write** — "I/O intensive ... also generate a large
+  amount of network traffic"; reads go through the page cache, which the
+  scavenger's resident bytes displace.
+
+The Spark variants run the same five computations (no DFSIO — "not yet
+implemented for Spark", §IV-C) on 48 GB executors with the GC-pressure
+compute model.
+"""
+
+from __future__ import annotations
+
+from ..units import GB
+from .base import PhasedWorkload
+from .mapreduce import MapReduceSpec, mapreduce_job
+from .spark import SparkJobSpec, spark_job
+
+__all__ = ["HIBENCH_HADOOP", "HIBENCH_SPARK", "hibench_hadoop",
+           "hibench_spark", "hibench_hadoop_suite", "hibench_spark_suite"]
+
+_HADOOP_SPECS: dict[str, MapReduceSpec] = {
+    "KMeans": MapReduceSpec(
+        name="KMeans",
+        input_bytes=20 * GB, dataset_bytes=28 * GB,
+        map_core_seconds=32 * 25.0, map_membw_bytes=60 * GB,
+        shuffle_bytes=1 * GB,
+        reduce_core_seconds=32 * 4.0,
+        output_bytes=0.5 * GB,
+        working_set=10 * GB, memory_intensity=0.5, iterations=3),
+    "PageRank": MapReduceSpec(
+        name="PageRank",
+        input_bytes=12 * GB, dataset_bytes=40 * GB,
+        map_core_seconds=32 * 18.0, map_membw_bytes=30 * GB,
+        shuffle_bytes=4 * GB,
+        reduce_core_seconds=32 * 8.0,
+        output_bytes=2 * GB,
+        working_set=10 * GB, memory_intensity=0.4, iterations=3),
+    "WordCount": MapReduceSpec(
+        name="WordCount",
+        input_bytes=30 * GB, dataset_bytes=36 * GB,
+        map_core_seconds=32 * 45.0, map_membw_bytes=250 * GB,
+        shuffle_bytes=0.5 * GB,
+        reduce_core_seconds=32 * 3.0,
+        output_bytes=0.2 * GB,
+        working_set=12 * GB, memory_intensity=1.0),
+    "TeraSort": MapReduceSpec(
+        # "CPU-intensive in the map-phase, utilizes a large amount of
+        # memory and ... a large network traffic in the shuffle phase".
+        name="TeraSort",
+        input_bytes=30 * GB, dataset_bytes=100 * GB,
+        map_core_seconds=32 * 25.0, map_membw_bytes=350 * GB,
+        shuffle_bytes=30 * GB,
+        reduce_core_seconds=32 * 12.0, reduce_membw_bytes=150 * GB,
+        output_bytes=30 * GB,
+        working_set=28 * GB, memory_intensity=3.0),
+    "DFSIO-read": MapReduceSpec(
+        name="DFSIO-read",
+        input_bytes=40 * GB, dataset_bytes=120 * GB,
+        map_core_seconds=32 * 30.0,
+        working_set=8 * GB, memory_intensity=0.2),
+    "DFSIO-write": MapReduceSpec(
+        name="DFSIO-write",
+        input_bytes=0.1 * GB, dataset_bytes=120 * GB,
+        map_core_seconds=32 * 30.0,
+        shuffle_bytes=2 * GB,  # HDFS replication pipeline
+        output_bytes=40 * GB,
+        working_set=8 * GB, memory_intensity=0.2),
+}
+
+_SPARK_SPECS: dict[str, SparkJobSpec] = {
+    "KMeans": SparkJobSpec(
+        name="KMeans",
+        input_bytes=20 * GB, dataset_bytes=28 * GB,
+        compute_core_seconds=32 * 22.0, membw_bytes=80 * GB,
+        shuffle_bytes=0.8 * GB, memory_intensity=0.8, iterations=3),
+    "PageRank": SparkJobSpec(
+        name="PageRank",
+        input_bytes=12 * GB, dataset_bytes=40 * GB,
+        compute_core_seconds=32 * 15.0, membw_bytes=60 * GB,
+        shuffle_bytes=4 * GB, memory_intensity=0.8, iterations=3),
+    "WordCount": SparkJobSpec(
+        name="WordCount",
+        input_bytes=30 * GB, dataset_bytes=36 * GB,
+        compute_core_seconds=32 * 35.0, membw_bytes=300 * GB,
+        shuffle_bytes=0.5 * GB, memory_intensity=1.2),
+    "TeraSort": SparkJobSpec(
+        name="TeraSort",
+        input_bytes=30 * GB, dataset_bytes=100 * GB,
+        compute_core_seconds=32 * 30.0, membw_bytes=400 * GB,
+        shuffle_bytes=30 * GB, output_bytes=30 * GB,
+        memory_intensity=2.0),
+    "Sort": SparkJobSpec(
+        name="Sort",
+        input_bytes=25 * GB, dataset_bytes=80 * GB,
+        compute_core_seconds=32 * 18.0, membw_bytes=300 * GB,
+        shuffle_bytes=25 * GB, output_bytes=25 * GB,
+        memory_intensity=1.5),
+}
+
+HIBENCH_HADOOP = tuple(_HADOOP_SPECS)
+HIBENCH_SPARK = tuple(_SPARK_SPECS)
+
+
+def _scaled_mr(spec: MapReduceSpec, scale: float) -> MapReduceSpec:
+    """Shrink a job's I/O and compute volumes (slowdowns are scale-free;
+    the dataset size and working set stay — page-cache effects are about
+    *resident* state, not about how much of it one run touches)."""
+    from dataclasses import replace
+    return replace(spec,
+                   input_bytes=spec.input_bytes * scale,
+                   map_core_seconds=spec.map_core_seconds * scale,
+                   map_membw_bytes=spec.map_membw_bytes * scale,
+                   shuffle_bytes=spec.shuffle_bytes * scale,
+                   reduce_core_seconds=spec.reduce_core_seconds * scale,
+                   reduce_membw_bytes=spec.reduce_membw_bytes * scale,
+                   output_bytes=spec.output_bytes * scale)
+
+
+def _scaled_spark(spec: SparkJobSpec, scale: float) -> SparkJobSpec:
+    from dataclasses import replace
+    return replace(spec,
+                   input_bytes=spec.input_bytes * scale,
+                   compute_core_seconds=spec.compute_core_seconds * scale,
+                   membw_bytes=spec.membw_bytes * scale,
+                   shuffle_bytes=spec.shuffle_bytes * scale,
+                   output_bytes=spec.output_bytes * scale)
+
+
+def hibench_hadoop(name: str, n_nodes: int = 32,
+                   scale: float = 1.0) -> PhasedWorkload:
+    """One HiBench benchmark as a Hadoop job."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        spec = _HADOOP_SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown Hadoop HiBench benchmark {name!r}; "
+                         f"choose from {HIBENCH_HADOOP}") from None
+    if scale != 1.0:
+        spec = _scaled_mr(spec, scale)
+    return mapreduce_job(spec, n_nodes)
+
+
+def hibench_spark(name: str, n_nodes: int = 32,
+                  scale: float = 1.0) -> PhasedWorkload:
+    """One HiBench benchmark as a Spark job."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        spec = _SPARK_SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown Spark HiBench benchmark {name!r}; "
+                         f"choose from {HIBENCH_SPARK}") from None
+    if scale != 1.0:
+        spec = _scaled_spark(spec, scale)
+    return spark_job(spec, n_nodes)
+
+
+def hibench_hadoop_suite(n_nodes: int = 32,
+                         scale: float = 1.0) -> list[PhasedWorkload]:
+    return [hibench_hadoop(n, n_nodes, scale) for n in HIBENCH_HADOOP]
+
+
+def hibench_spark_suite(n_nodes: int = 32,
+                        scale: float = 1.0) -> list[PhasedWorkload]:
+    return [hibench_spark(n, n_nodes, scale) for n in HIBENCH_SPARK]

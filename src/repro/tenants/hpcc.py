@@ -1,0 +1,140 @@
+"""HPCC benchmark suite model (paper §IV-A-2, Fig. 3).
+
+The HPC Challenge suite assesses "CPU speed, memory bandwidth, network
+bandwidth and latency".  We model the eight categories the HPCC kiviat
+diagram reports (the ones the paper plots), each as a phase list whose
+dominant resource matches the real kernel.  Input sizes follow the paper's
+configuration: "a load of at most 48 GB memory per node", all 32 cores.
+
+Baseline runtimes land in the tens-of-seconds range per category, long
+enough to overlap the scavenging workload in the slowdown experiments.
+"""
+
+from __future__ import annotations
+
+from ..units import GB, MB
+from .base import (AllocPhase, ComputePhase, FreePhase, LatencyPhase,
+                   MemBandwidthPhase, NetworkPhase, PhasedWorkload)
+
+__all__ = ["HPCC_BENCHMARKS", "hpcc_suite", "hpcc_benchmark"]
+
+
+def _hpl(scale: float = 1.0) -> PhasedWorkload:
+    # LINPACK: dense LU — dominated by DGEMM-like compute, with panel
+    # broadcasts on the wire and a 40 GB working set.
+    return PhasedWorkload("HPL", [
+        AllocPhase(40 * GB),
+        NetworkPhase(nbytes_per_peer=96 * MB * scale, pattern="alltoall",
+                     name="panel-bcast"),
+        ComputePhase(core_seconds=32 * 90.0 * scale, cores=32, name="lu"),
+        NetworkPhase(nbytes_per_peer=96 * MB * scale, pattern="alltoall",
+                     name="panel-bcast2"),
+        FreePhase(),
+    ])
+
+
+def _dgemm(scale: float = 1.0) -> PhasedWorkload:
+    # Pure local matrix multiply: compute only.
+    return PhasedWorkload("DGEMM", [
+        AllocPhase(8 * GB),
+        ComputePhase(core_seconds=32 * 60.0 * scale, cores=32,
+                     name="dgemm"),
+        FreePhase(),
+    ])
+
+
+def _ptrans(scale: float = 1.0) -> PhasedWorkload:
+    # Parallel matrix transpose: large pairwise exchanges.
+    return PhasedWorkload("PTRANS", [
+        AllocPhase(40 * GB),
+        MemBandwidthPhase(nbytes=200 * GB * scale, name="pack"),
+        NetworkPhase(nbytes_per_peer=800 * MB * scale, pattern="alltoall",
+                     name="transpose"),
+        MemBandwidthPhase(nbytes=200 * GB * scale, name="unpack"),
+        FreePhase(),
+    ])
+
+
+def _random_access(scale: float = 1.0) -> PhasedWorkload:
+    # GUPS: random 8-byte updates -> one 64 B cache line each; the table
+    # is memory-resident, so the bus is the bottleneck.
+    return PhasedWorkload("RandomAccess", [
+        AllocPhase(16 * GB),
+        MemBandwidthPhase(nbytes=512 * GB * scale, name="gups"),
+        FreePhase(),
+    ])
+
+
+def _stream(scale: float = 1.0) -> PhasedWorkload:
+    # STREAM triad, all cores: the canonical memory-bandwidth kernel and
+    # the paper's most scavenging-sensitive HPCC category.
+    return PhasedWorkload("STREAM", [
+        AllocPhase(24 * GB),
+        MemBandwidthPhase(nbytes=1536 * GB * scale, name="triad"),
+        FreePhase(),
+    ])
+
+
+def _fft(scale: float = 1.0) -> PhasedWorkload:
+    # Global FFT: local butterflies (compute + bus) and an all-to-all
+    # transpose — sensitive to everything at once.
+    return PhasedWorkload("FFT", [
+        AllocPhase(32 * GB),
+        ComputePhase(core_seconds=32 * 20.0 * scale, cores=32,
+                     name="butterfly"),
+        MemBandwidthPhase(nbytes=300 * GB * scale, name="twiddle"),
+        NetworkPhase(nbytes_per_peer=320 * MB * scale, pattern="alltoall",
+                     name="transpose"),
+        MemBandwidthPhase(nbytes=150 * GB * scale, name="twiddle2"),
+        FreePhase(),
+    ])
+
+
+def _bandwidth(scale: float = 1.0) -> PhasedWorkload:
+    # b_eff bandwidth: large-message ring exchange.
+    return PhasedWorkload("bandwidth", [
+        NetworkPhase(nbytes_per_peer=30 * GB * scale, pattern="ring",
+                     name="ring"),
+    ])
+
+
+def _latency(scale: float = 1.0) -> PhasedWorkload:
+    # b_eff latency: millions of small-message ping-pongs.
+    return PhasedWorkload("latency", [
+        LatencyPhase(n_messages=int(2_000_000 * scale), name="pingpong"),
+    ])
+
+
+_BUILDERS = {
+    "HPL": _hpl,
+    "DGEMM": _dgemm,
+    "PTRANS": _ptrans,
+    "RandomAccess": _random_access,
+    "STREAM": _stream,
+    "FFT": _fft,
+    "bandwidth": _bandwidth,
+    "latency": _latency,
+}
+
+#: Category names in the order the paper's Fig. 3 plots them.
+HPCC_BENCHMARKS = tuple(_BUILDERS)
+
+
+def hpcc_benchmark(name: str, scale: float = 1.0) -> PhasedWorkload:
+    """One HPCC category as a fresh workload instance.
+
+    *scale* shrinks the input volume proportionally (the slowdown ratio is
+    scale-free; the benchmark harness uses 0.5 to halve wall time).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        return _BUILDERS[name](scale)
+    except KeyError:
+        raise ValueError(f"unknown HPCC benchmark {name!r}; "
+                         f"choose from {HPCC_BENCHMARKS}") from None
+
+
+def hpcc_suite(scale: float = 1.0) -> list[PhasedWorkload]:
+    """All eight categories, in Fig. 3 order."""
+    return [hpcc_benchmark(n, scale) for n in HPCC_BENCHMARKS]

@@ -1,0 +1,79 @@
+"""Hadoop MapReduce job model (paper §IV-A-2, Fig. 4).
+
+A MapReduce job is map → shuffle → reduce; each stage's dominant resource
+follows the paper's characterization of the HiBench benchmarks:
+
+- maps read HDFS through the **page cache**, where they collide with the
+  scavenger's resident bytes (the DFSIO-read mechanism);
+- mapper/reducer JVM compute is **bandwidth-sensitive** in proportion to
+  the benchmark's ``memory_intensity``
+  (:class:`~repro.tenants.base.FrameworkComputePhase`);
+- shuffles are **TCP** traffic and share the per-node IPoIB ceiling with
+  the store's transfers (TeraSort's channel);
+- reduces write back through the page cache / local disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GB
+from .base import (AllocPhase, DiskPhase, FrameworkComputePhase, FreePhase,
+                   MemBandwidthPhase, NetworkPhase, Phase, PhasedWorkload)
+
+__all__ = ["MapReduceSpec", "mapreduce_job"]
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """Per-node resource volumes of one MapReduce job."""
+
+    name: str
+    input_bytes: float            # HDFS bytes read per node (map)
+    dataset_bytes: float          # HDFS bytes the job touches per node
+    map_core_seconds: float       # map compute per node
+    map_membw_bytes: float = 0.0  # explicit in-memory traffic per node
+    shuffle_bytes: float = 0.0    # bytes sent per node during shuffle
+    reduce_core_seconds: float = 0.0
+    reduce_membw_bytes: float = 0.0
+    output_bytes: float = 0.0     # HDFS bytes written per node (reduce)
+    working_set: float = 8 * GB   # JVM heaps + framework memory
+    memory_intensity: float = 0.3  # JVM bandwidth sensitivity (see base.py)
+    iterations: int = 1            # iterative jobs (KMeans, PageRank)
+
+
+def mapreduce_job(spec: MapReduceSpec, n_nodes: int = 32) -> PhasedWorkload:
+    """Build the phase list of one Hadoop job over *n_nodes* workers."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    peers = max(1, n_nodes - 1)
+    phases: list[Phase] = [AllocPhase(spec.working_set, name="jvm-heap")]
+    for it in range(spec.iterations):
+        tag = f"it{it}" if spec.iterations > 1 else "job"
+        phases.append(DiskPhase(spec.input_bytes, spec.dataset_bytes,
+                                name=f"{tag}-map-read"))
+        if spec.map_core_seconds > 0:
+            phases.append(FrameworkComputePhase(
+                spec.map_core_seconds, cores=32,
+                memory_intensity=spec.memory_intensity,
+                name=f"{tag}-map"))
+        if spec.map_membw_bytes > 0:
+            phases.append(MemBandwidthPhase(spec.map_membw_bytes,
+                                            name=f"{tag}-map-mem"))
+        if spec.shuffle_bytes > 0:
+            phases.append(NetworkPhase(spec.shuffle_bytes / peers,
+                                       pattern="alltoall", transport="tcp",
+                                       name=f"{tag}-shuffle"))
+        if spec.reduce_core_seconds > 0:
+            phases.append(FrameworkComputePhase(
+                spec.reduce_core_seconds, cores=32,
+                memory_intensity=spec.memory_intensity,
+                name=f"{tag}-reduce"))
+        if spec.reduce_membw_bytes > 0:
+            phases.append(MemBandwidthPhase(spec.reduce_membw_bytes,
+                                            name=f"{tag}-reduce-mem"))
+        if spec.output_bytes > 0:
+            phases.append(DiskPhase(spec.output_bytes, spec.dataset_bytes,
+                                    write=True, name=f"{tag}-write"))
+    phases.append(FreePhase())
+    return PhasedWorkload(spec.name, phases)

@@ -1,0 +1,35 @@
+"""Byte and time unit constants used throughout the reproduction.
+
+The paper's quantities (128 MB dd files, 64 GB nodes, 3 GB/s IPoIB) are
+interpreted as binary units, matching how `dd bs=1M` and `/proc/meminfo`
+report sizes on the DAS-5 nodes.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+KiB, MiB, GiB, TiB = KB, MB, GB, TB
+
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit, div in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(rate: float) -> str:
+    """Human-readable bytes/second."""
+    return fmt_bytes(rate) + "/s"

@@ -1,0 +1,16 @@
+"""Scientific-workflow substrate: DAGs, execution engine, generators."""
+
+from .dag import CycleError, FileSpec, Task, Workflow
+from .engine import TaskResult, WorkflowEngine, WorkflowResult
+from .generators import MONTAGE_PAPER_WIDTH, blast, dd_bag, montage
+from .analysis import (StageStats, achieved_parallelism,
+                       cpu_utilization_of_run, ideal_parallelism_profile,
+                       stage_statistics)
+
+__all__ = [
+    "FileSpec", "Task", "Workflow", "CycleError",
+    "WorkflowEngine", "WorkflowResult", "TaskResult",
+    "dd_bag", "montage", "blast", "MONTAGE_PAPER_WIDTH",
+    "StageStats", "stage_statistics", "ideal_parallelism_profile",
+    "achieved_parallelism", "cpu_utilization_of_run",
+]

@@ -1,0 +1,246 @@
+"""Workflow execution engine.
+
+Schedules a :class:`~repro.workflows.dag.Workflow` over the own nodes of a
+MemFSS deployment: one slot per logical core (DAS-5 runs one task per
+hyperthread), tasks become ready when their file dependencies exist, and
+each task's life is read-inputs → compute → write-outputs, all through the
+mounted file system at simulated cost.
+
+Like the real MemFS, the engine is a *runtime* file system user: by default
+intermediate files are unlinked as soon as their last consumer finishes
+("garbage collection"), so the live data footprint is the workflow's
+maximum span, not its total I/O volume — the quantity that decides how many
+nodes a standalone deployment needs (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.node import Node
+from ..fs.memfss import MemFSS
+from ..fs.posix import MountPoint
+from ..sim import Environment, Event
+from .dag import FileSpec, Task, Workflow
+
+__all__ = ["WorkflowEngine", "WorkflowResult", "TaskResult"]
+
+
+@dataclass
+class TaskResult:
+    task_id: str
+    stage: str
+    node: str
+    start: float
+    end: float
+    read_bytes: float
+    written_bytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class WorkflowResult:
+    workflow: str
+    start: float
+    end: float
+    tasks: dict[str, TaskResult] = field(default_factory=dict)
+    peak_bytes: float = 0.0
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start
+
+    def stage_span(self, stage: str) -> tuple[float, float]:
+        """(first start, last end) over one stage's tasks."""
+        rs = [r for r in self.tasks.values() if r.stage == stage]
+        if not rs:
+            raise KeyError(f"no tasks in stage {stage!r}")
+        return min(r.start for r in rs), max(r.end for r in rs)
+
+    def node_hours(self, n_nodes: int) -> float:
+        return n_nodes * self.makespan / 3600.0
+
+
+class WorkflowEngine:
+    """List scheduler: ready tasks onto the least-loaded free slot."""
+
+    def __init__(self, env: Environment, fs: MemFSS,
+                 workers: list[Node] | None = None,
+                 slots_per_node: int | None = None,
+                 gc_intermediates: bool = True):
+        self.env = env
+        self.fs = fs
+        self.workers = list(workers) if workers is not None else list(fs.own_nodes)
+        if not self.workers:
+            raise ValueError("need at least one worker node")
+        self.slots_per_node = (slots_per_node if slots_per_node is not None
+                               else self.workers[0].spec.cores)
+        if self.slots_per_node < 1:
+            raise ValueError("slots_per_node must be >= 1")
+        self.gc_intermediates = gc_intermediates
+        self._mounts = {n.name: MountPoint(fs, n) for n in self.workers}
+
+    # -- staging ----------------------------------------------------------------
+    def stage_in(self, workflow: Workflow):
+        """Generator: create the workflow's external input files.
+
+        Sizes/bundles are taken from the (first) consumer's FileSpec.
+        """
+        specs: dict[str, FileSpec] = {}
+        for t in workflow.tasks.values():
+            for f in t.inputs:
+                if workflow.producer_of(f.path) is None:
+                    specs.setdefault(f.path, f)
+        mp = self._mounts[self.workers[0].name]
+        for path in sorted(specs):
+            f = specs[path]
+            exists = yield from mp.exists(path)
+            if not exists:
+                yield from mp.write_file(path, nbytes=f.nbytes,
+                                         batch=f.n_files)
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, workflow: Workflow):
+        """Generator: execute the workflow; returns :class:`WorkflowResult`."""
+        result = WorkflowResult(workflow=workflow.name, start=self.env.now,
+                                end=self.env.now)
+        remaining_deps = {tid: set(workflow.dependencies(tid))
+                          for tid in workflow.tasks}
+        dependents: dict[str, list[str]] = {tid: [] for tid in workflow.tasks}
+        for tid, deps in remaining_deps.items():
+            for d in deps:
+                dependents[d].append(tid)
+        # Reference counts for GC: how many consumers has each produced file.
+        consumers_left = {
+            path: len(workflow.consumers_of(path))
+            for path in (f.path for t in workflow.tasks.values()
+                         for f in t.outputs)}
+        free_slots = {n.name: self.slots_per_node for n in self.workers}
+        ready = [tid for tid, deps in remaining_deps.items() if not deps]
+        ready.sort()
+        running: dict[str, Event] = {}
+
+        while ready or running:
+            # Dispatch as many ready tasks as slots allow.
+            while ready:
+                node_name = max(free_slots, key=lambda n: free_slots[n])
+                if free_slots[node_name] == 0:
+                    break
+                tid = ready.pop(0)
+                free_slots[node_name] -= 1
+                task = workflow.tasks[tid]
+                running[tid] = self.env.process(
+                    self._run_task(task, node_name, result),
+                    name=f"task:{tid}")
+            if not running:
+                break
+            # Wait for any task to finish.
+            try:
+                finished_ev = yield self.env.any_of(list(running.values()))
+            except BaseException:
+                # A task died mid-wait (AnyOf propagates the first child
+                # failure).  Cancel the survivors before unwinding.
+                for p in running.values():
+                    if p.is_alive:
+                        p.interrupt("workflow aborted")
+                raise
+            finished = [tid for tid, p in running.items() if p.triggered]
+            for tid in finished:
+                proc = running.pop(tid)
+                if not proc.ok:
+                    # A task died (e.g. a store filled up).  Cancel its
+                    # siblings so they stop consuming resources, then
+                    # surface the failure to whoever ran the workflow.
+                    for other in running.values():
+                        if other.is_alive:
+                            other.interrupt("workflow aborted")
+                    raise proc.value
+                node_name = result.tasks[tid].node
+                free_slots[node_name] += 1
+                for succ in dependents[tid]:
+                    remaining_deps[succ].discard(tid)
+                    if not remaining_deps[succ]:
+                        ready.append(succ)
+                ready.sort()
+                # GC inputs whose last consumer just finished.
+                if self.gc_intermediates:
+                    yield from self._gc_inputs(workflow.tasks[tid],
+                                               workflow, consumers_left)
+            result.peak_bytes = max(result.peak_bytes, self.fs.used_bytes())
+            del finished_ev
+        unfinished = [tid for tid, deps in remaining_deps.items() if deps]
+        done = set(result.tasks)
+        stuck = [tid for tid in unfinished if tid not in done]
+        if stuck:  # pragma: no cover - defensive
+            raise RuntimeError(f"deadlocked tasks: {sorted(stuck)[:5]}")
+        result.end = self.env.now
+        return result
+
+    def _run_task(self, task: Task, node_name: str, result: WorkflowResult):
+        mp = self._mounts[node_name]
+        node = self.fs.fabric.node(node_name)
+        start = self.env.now
+        read = 0.0
+        if task.io_slices <= 1:
+            for f in task.inputs:
+                size, _ = yield from mp.read_file(f.path, batch=f.n_files)
+                read += size
+            if task.compute_seconds > 0:
+                yield from node.cpu.consume(task.compute_seconds,
+                                            cap=float(task.cores),
+                                            label=f"task:{task.id}")
+        else:
+            # Streaming tasks: alternate a slice of each input with a
+            # slice of compute, spreading I/O over the task's lifetime.
+            slices = task.io_slices
+            compute_slice = task.compute_seconds / slices
+            for s in range(slices):
+                for f in task.inputs:
+                    meta_size = f.nbytes
+                    off = int(meta_size * s / slices)
+                    ln = int(meta_size * (s + 1) / slices) - off
+                    if ln <= 0:
+                        continue
+                    batch = max(1, f.n_files // slices)
+                    nread, _ = yield from self.fs.read_range(
+                        node, f.path, off, ln, batch=batch)
+                    read += nread
+                if compute_slice > 0:
+                    yield from node.cpu.consume(compute_slice,
+                                                cap=float(task.cores),
+                                                label=f"task:{task.id}")
+        written = 0.0
+        for f in task.outputs:
+            yield from mp.write_file(f.path, nbytes=f.nbytes,
+                                     batch=f.n_files)
+            written += f.nbytes
+        result.tasks[task.id] = TaskResult(
+            task_id=task.id, stage=task.stage, node=node_name,
+            start=start, end=self.env.now,
+            read_bytes=read, written_bytes=written)
+
+    def _gc_inputs(self, task: Task, workflow: Workflow,
+                   consumers_left: dict[str, int]):
+        mp = self._mounts[self.workers[0].name]
+        for f in task.inputs:
+            if f.path not in consumers_left:
+                continue  # external input; not ours to delete
+            consumers_left[f.path] -= 1
+            if consumers_left[f.path] <= 0:
+                exists = yield from mp.exists(f.path)
+                if exists:
+                    yield from mp.unlink(f.path)
+
+    def execute(self, workflow: Workflow,
+                stage_inputs: bool = True) -> WorkflowResult:
+        """Blocking convenience: stage in, run, and drive the simulation."""
+        def driver():
+            if stage_inputs:
+                yield from self.stage_in(workflow)
+            return (yield from self.run(workflow))
+
+        proc = self.env.process(driver(), name=f"workflow:{workflow.name}")
+        return self.env.run(until=proc)

@@ -1,0 +1,221 @@
+"""Synthetic generators for the paper's MemFSS workloads (§IV-A-1).
+
+Three workloads drive every experiment:
+
+- :func:`dd_bag` — "a bag of 2048 dd tasks, that each write 128 MB": the
+  I/O-bound upper bound on scavenging overhead.  Large sequential requests.
+- :func:`montage` — the Montage mosaicking workflow: short tasks (seconds),
+  *small files (1-4 MB)*, and a long sequential aggregation/partitioning
+  tail (mConcatFit, mBgModel, mAdd) that limits scalability.  Stage shapes
+  follow the Juve et al. characterization the paper cites; compute times are
+  calibrated so the Table II "large instance" reproduces the published
+  runtime/ node-hour points (see EXPERIMENTS.md).
+- :func:`blast` — BLAST sequence search: mostly CPU-bound tasks of tens of
+  seconds to minutes over hundreds-of-MB files, issuing *many short I/O
+  requests* (the property that makes it hurt latency-sensitive tenants more
+  than dd, Fig. 3).
+
+Small application files are bundled into logical files with an ``n_files``
+count so the store charges per-request costs that many times without
+simulating every 2 MB PUT individually.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..units import GB, KB, MB
+from .dag import FileSpec, Task, Workflow
+
+__all__ = ["dd_bag", "montage", "blast", "MONTAGE_PAPER_WIDTH"]
+
+
+def dd_bag(n_tasks: int = 2048, file_size: float = 128 * MB,
+           compute_seconds: float = 0.05) -> Workflow:
+    """The paper's dd micro-benchmark bag (§IV-B): pure writers."""
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    if file_size < 0:
+        raise ValueError("file_size must be non-negative")
+    tasks = [
+        Task(id=f"dd-{i:05d}", stage="dd",
+             compute_seconds=compute_seconds,
+             outputs=(FileSpec(f"/dd/out-{i:05d}", file_size),))
+        for i in range(n_tasks)
+    ]
+    return Workflow("dd-bag", tasks)
+
+
+MONTAGE_PAPER_WIDTH = 2048
+
+
+def montage(width: int = MONTAGE_PAPER_WIDTH,
+            bundle_files: int = 50,
+            bundle_bytes: float = 160 * MB,
+            n_adds: int = 4,
+            compute_scale: float = 1.0,
+            parallel_task_scale: float = 1.0) -> Workflow:
+    """A Montage instance with the paper's stage structure.
+
+    *width* parallel tiles; each parallel-stage task handles one bundle of
+    *bundle_files* small (1-4 MB) files totalling *bundle_bytes*.  At the
+    defaults the instance writes ≈ 1 TB of intermediate data — the Table II
+    "large instance" whose footprint just fits 20 DAS-5 nodes.
+
+    Compute calibration (core-seconds, scaled by *compute_scale*): the
+    parallel stages total ≈ 110 s × width and the sequential tail
+    (mConcatFit → mJPEG) ≈ 3950 s, reproducing runtime(n) ≈ tail +
+    par/(slots) of Table II.
+
+    *parallel_task_scale* multiplies only the per-tile task durations:
+    running a reduced *width* with ``parallel_task_scale =
+    MONTAGE_PAPER_WIDTH / width`` keeps the total parallel work (and hence
+    the Table II runtime curve) while scaling the data volume down — the
+    knob the consumption benchmark uses to stay tractable.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if parallel_task_scale <= 0:
+        raise ValueError("parallel_task_scale must be positive")
+    cs = compute_scale
+    ps = compute_scale * parallel_task_scale
+    tasks: list[Task] = []
+    # Parallel stage 1: reproject every input tile.
+    for i in range(width):
+        tasks.append(Task(
+            id=f"mProject-{i:05d}", stage="mProjectPP",
+            compute_seconds=55.0 * ps,
+            inputs=(FileSpec(f"/montage/raw/img-{i:05d}", 8 * MB, n_files=2),),
+            outputs=(FileSpec(f"/montage/proj/p-{i:05d}", bundle_bytes,
+                              n_files=bundle_files),),
+        ))
+    # Parallel stage 2: difference fitting between overlapping tiles.
+    for i in range(width):
+        j = (i + 1) % width
+        tasks.append(Task(
+            id=f"mDiffFit-{i:05d}", stage="mDiffFit",
+            compute_seconds=30.0 * ps,
+            inputs=(FileSpec(f"/montage/proj/p-{i:05d}", bundle_bytes,
+                             n_files=bundle_files),
+                    FileSpec(f"/montage/proj/p-{j:05d}", bundle_bytes,
+                             n_files=bundle_files)),
+            outputs=(FileSpec(f"/montage/diff/d-{i:05d}", bundle_bytes,
+                              n_files=bundle_files),),
+        ))
+    # Sequential aggregation: fit-plane concatenation over all diffs.
+    tasks.append(Task(
+        id="mConcatFit", stage="mConcatFit",
+        compute_seconds=500.0 * cs,
+        inputs=tuple(FileSpec(f"/montage/diff/d-{i:05d}", bundle_bytes,
+                              n_files=bundle_files)
+                     for i in range(width)),
+        outputs=(FileSpec("/montage/fits.tbl", 16 * MB, n_files=width),),
+    ))
+    # Sequential: background model (the long tail of large instances).
+    tasks.append(Task(
+        id="mBgModel", stage="mBgModel",
+        compute_seconds=2500.0 * cs,
+        inputs=(FileSpec("/montage/fits.tbl", 16 * MB, n_files=width),),
+        outputs=(FileSpec("/montage/corrections.tbl", 4 * MB),),
+    ))
+    # Parallel stage 3: apply background corrections.
+    for i in range(width):
+        tasks.append(Task(
+            id=f"mBackground-{i:05d}", stage="mBackground",
+            compute_seconds=25.0 * ps,
+            inputs=(FileSpec(f"/montage/proj/p-{i:05d}", bundle_bytes,
+                             n_files=bundle_files),
+                    FileSpec("/montage/corrections.tbl", 4 * MB)),
+            outputs=(FileSpec(f"/montage/corr/c-{i:05d}", bundle_bytes,
+                              n_files=bundle_files),),
+        ))
+    # Sequential: image table over the corrected tiles.
+    tasks.append(Task(
+        id="mImgtbl", stage="mImgtbl",
+        compute_seconds=150.0 * cs,
+        inputs=tuple(FileSpec(f"/montage/corr/c-{i:05d}", bundle_bytes,
+                              n_files=bundle_files)
+                     for i in range(min(width, 8))),
+        extra_deps=tuple(f"mBackground-{i:05d}" for i in range(width)),
+        outputs=(FileSpec("/montage/images.tbl", 8 * MB),),
+    ))
+    # Few-way parallel co-addition: each mAdd consumes a shard of tiles.
+    shard = max(1, width // n_adds)
+    for a in range(n_adds):
+        lo, hi = a * shard, min(width, (a + 1) * shard)
+        if lo >= width:
+            break
+        tasks.append(Task(
+            id=f"mAdd-{a}", stage="mAdd",
+            compute_seconds=500.0 * cs,
+            inputs=(FileSpec("/montage/images.tbl", 8 * MB),) + tuple(
+                FileSpec(f"/montage/corr/c-{i:05d}", bundle_bytes,
+                         n_files=bundle_files) for i in range(lo, hi)),
+            outputs=(FileSpec(f"/montage/mosaic-{a}.fits",
+                              bundle_bytes * (hi - lo) / 4, n_files=1),),
+        ))
+    # Sequential finishing: shrink + JPEG preview.
+    tasks.append(Task(
+        id="mShrink", stage="mShrink",
+        compute_seconds=200.0 * cs,
+        inputs=tuple(FileSpec(f"/montage/mosaic-{a}.fits",
+                              bundle_bytes * shard / 4)
+                     for a in range(min(n_adds, math.ceil(width / shard)))),
+        outputs=(FileSpec("/montage/mosaic-small.fits", 512 * MB),),
+    ))
+    tasks.append(Task(
+        id="mJPEG", stage="mJPEG",
+        compute_seconds=100.0 * cs,
+        inputs=(FileSpec("/montage/mosaic-small.fits", 512 * MB),),
+        outputs=(FileSpec("/montage/mosaic.jpg", 64 * MB),),
+    ))
+    return Workflow("montage", tasks)
+
+
+def blast(n_searches: int = 128,
+          db_bytes: float = 4 * GB,
+          chunk_bytes: float = 256 * MB,
+          result_bytes: float = 40 * MB,
+          search_seconds: float = 90.0,
+          split_seconds: float = 60.0,
+          request_granularity: float = 16 * KB) -> Workflow:
+    """A BLAST workflow: split → parallel searches → merge.
+
+    Searches are CPU-bound (tens of seconds to minutes) over
+    hundreds-of-MB chunks; ``request_granularity`` sets how finely their
+    I/O is chopped into store requests (small records → many requests →
+    the latency interference of Fig. 3).
+    """
+    if n_searches < 1:
+        raise ValueError("n_searches must be >= 1")
+    reqs = lambda size: max(1, int(size / request_granularity))
+    tasks: list[Task] = [Task(
+        id="split", stage="split",
+        compute_seconds=split_seconds,
+        inputs=(FileSpec("/blast/db.fasta", db_bytes, n_files=1),),
+        outputs=tuple(FileSpec(f"/blast/chunk-{i:04d}", chunk_bytes,
+                               n_files=reqs(chunk_bytes))
+                      for i in range(n_searches)),
+    )]
+    for i in range(n_searches):
+        tasks.append(Task(
+            id=f"search-{i:04d}", stage="search",
+            compute_seconds=search_seconds,
+            inputs=(FileSpec(f"/blast/chunk-{i:04d}", chunk_bytes,
+                             n_files=reqs(chunk_bytes)),),
+            outputs=(FileSpec(f"/blast/res-{i:04d}", result_bytes,
+                              n_files=reqs(result_bytes)),),
+            # BLAST streams its database throughout the search, so its
+            # small reads disturb the victims continuously (§IV-C).
+            io_slices=24,
+        ))
+    tasks.append(Task(
+        id="merge", stage="merge",
+        compute_seconds=120.0,
+        inputs=tuple(FileSpec(f"/blast/res-{i:04d}", result_bytes,
+                              n_files=reqs(result_bytes))
+                     for i in range(n_searches)),
+        outputs=(FileSpec("/blast/report.out", result_bytes * n_searches / 8,
+                          n_files=1),),
+    ))
+    return Workflow("blast", tasks)

@@ -1,0 +1,199 @@
+"""Tests for reservations, the scavenging queue, containers, and monitord."""
+
+import pytest
+
+from repro.cluster import (CapExceeded, Container, InsufficientNodes,
+                           MemoryPressureMonitor, ResourceCaps, build_das5)
+from repro.sim import Environment
+from repro.units import GB
+
+
+@pytest.fixture
+def cluster():
+    return build_das5(Environment(), n_nodes=6)
+
+
+class TestReservation:
+    def test_reserve_and_release(self, cluster):
+        res = cluster.reservations.reserve("alice", 4)
+        assert len(res.nodes) == 4
+        assert len(cluster.reservations.free_nodes) == 2
+        cluster.reservations.release(res)
+        assert len(cluster.reservations.free_nodes) == 6
+        assert not res.active
+
+    def test_insufficient_raises(self, cluster):
+        with pytest.raises(InsufficientNodes):
+            cluster.reservations.reserve("bob", 7)
+
+    def test_invalid_count(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.reservations.reserve("bob", 0)
+
+    def test_double_release_raises(self, cluster):
+        res = cluster.reservations.reserve("alice", 1)
+        cluster.reservations.release(res)
+        with pytest.raises(KeyError):
+            cluster.reservations.release(res)
+
+    def test_node_hours_accounting(self, cluster):
+        env = cluster.env
+        res = cluster.reservations.reserve("alice", 2)
+
+        def run():
+            yield env.timeout(7200)
+            cluster.reservations.release(res)
+
+        env.process(run())
+        env.run()
+        assert res.node_hours == pytest.approx(4.0)  # 2 nodes x 2 h
+
+    def test_node_hours_while_active(self, cluster):
+        env = cluster.env
+        res = cluster.reservations.reserve("alice", 3)
+
+        def probe():
+            yield env.timeout(3600)
+            assert res.node_hours == pytest.approx(3.0)
+
+        env.process(probe())
+        env.run()
+
+
+class TestScavengeQueue:
+    def test_voluntary_registration(self, cluster):
+        res = cluster.reservations.reserve("tenant", 2)
+        offer = cluster.reservations.register_offer(
+            res.nodes[0], 10 * GB, owner="tenant")
+        assert offer.voluntary
+        assert cluster.reservations.offers() == (offer,)
+
+    def test_admin_enforced_covers_current_and_future(self, cluster):
+        res1 = cluster.reservations.reserve("t1", 2)
+        cluster.reservations.enforce_scavenging(10 * GB)
+        assert len(cluster.reservations.offers()) == 2
+        res2 = cluster.reservations.reserve("t2", 3)
+        assert len(cluster.reservations.offers()) == 5
+        assert all(not o.voluntary for o in cluster.reservations.offers())
+
+    def test_enforce_invalid_cap(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.reservations.enforce_scavenging(0)
+
+    def test_lease_and_revoke(self, cluster):
+        res = cluster.reservations.reserve("t", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB, owner="t")
+        lease = cluster.reservations.lease(node, 8 * GB, holder="memfss")
+        assert lease.active
+        assert cluster.reservations.active_leases() == (lease,)
+        n = cluster.reservations.revoke_leases(node, cause="pressure")
+        assert n == 1
+        assert not lease.active
+        assert lease.revoked.value == "pressure"
+
+    def test_lease_over_offer_rejected(self, cluster):
+        res = cluster.reservations.reserve("t", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB)
+        with pytest.raises(ValueError):
+            cluster.reservations.lease(node, 11 * GB, holder="memfss")
+
+    def test_lease_unregistered_node_rejected(self, cluster):
+        res = cluster.reservations.reserve("t", 1)
+        with pytest.raises(KeyError):
+            cluster.reservations.lease(res.nodes[0], 1 * GB, holder="m")
+
+    def test_release_withdraws_offers_and_leases(self, cluster):
+        res = cluster.reservations.reserve("t", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB)
+        lease = cluster.reservations.lease(node, 5 * GB, holder="m")
+        cluster.reservations.release(res)
+        assert not lease.active
+        assert cluster.reservations.offers() == ()
+
+
+class TestContainer:
+    def test_memory_cap_enforced(self, cluster):
+        node = cluster.nodes[0]
+        c = Container(node, "scv", ResourceCaps(memory=10 * GB))
+        c.allocate(8 * GB)
+        assert c.memory_used == 8 * GB
+        with pytest.raises(CapExceeded):
+            c.allocate(3 * GB)
+
+    def test_allocation_hits_node_accounting(self, cluster):
+        node = cluster.nodes[0]
+        c = Container(node, "scv", ResourceCaps(memory=10 * GB))
+        c.allocate(6 * GB)
+        assert node.memory_free == 54 * GB
+
+    def test_release_returns_everything(self, cluster):
+        node = cluster.nodes[0]
+        c = Container(node, "scv", ResourceCaps(memory=10 * GB))
+        c.allocate(6 * GB)
+        assert c.release() == 6 * GB
+        assert node.memory_free == 60 * GB
+
+    def test_memory_available_is_min_of_cap_and_node(self, cluster):
+        node = cluster.nodes[0]
+        node.allocate_memory("tenant", 52 * GB)  # 8 GB left free
+        c = Container(node, "scv", ResourceCaps(memory=10 * GB))
+        assert c.memory_available == pytest.approx(8 * GB)
+
+    def test_caps_validation(self):
+        with pytest.raises(ValueError):
+            ResourceCaps(memory=0)
+
+
+class TestMemoryPressureMonitor:
+    def test_revokes_lease_under_pressure(self, cluster):
+        env = cluster.env
+        res = cluster.reservations.reserve("tenant", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB)
+        lease = cluster.reservations.lease(node, 10 * GB, holder="memfss")
+        mon = MemoryPressureMonitor(env, node, cluster.reservations,
+                                    threshold=8 * GB, interval=1.0)
+
+        def tenant_burst():
+            yield env.timeout(5)
+            node.allocate_memory("tenant", 55 * GB)  # free drops to 5 GB
+            yield env.timeout(3)
+            mon.stop()
+
+        env.process(tenant_burst())
+        env.run(until=lease.revoked)
+        # The burst lands before the monitor's t=5 tick, which sees it.
+        assert env.now == pytest.approx(5.0)
+        assert lease.revoked.value == "pressure"
+        env.run()
+        assert mon.revocations == 1
+
+    def test_no_revocation_without_pressure(self, cluster):
+        env = cluster.env
+        res = cluster.reservations.reserve("tenant", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB)
+        lease = cluster.reservations.lease(node, 10 * GB, holder="memfss")
+        mon = MemoryPressureMonitor(env, node, cluster.reservations,
+                                    threshold=1 * GB)
+
+        def stopper():
+            yield env.timeout(10)
+            mon.stop()
+
+        env.process(stopper())
+        env.run()
+        assert lease.active
+
+    def test_validation(self, cluster):
+        env = cluster.env
+        with pytest.raises(ValueError):
+            MemoryPressureMonitor(env, cluster.nodes[0],
+                                  cluster.reservations, threshold=0)
+        with pytest.raises(ValueError):
+            MemoryPressureMonitor(env, cluster.nodes[0],
+                                  cluster.reservations, threshold=1,
+                                  interval=0)

@@ -1,0 +1,31 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1_prints_survey(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Google Traces" in out
+        assert "Mesos" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--tasks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "100%" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--workload", "nonesuch"])

@@ -1,0 +1,52 @@
+"""Shared rig for file-system tests: a small cluster with own + victim
+stores and a MemFSS deployment."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.fs import ClassSpec, MemFSS, PlacementPolicy
+from repro.hashing import own_victim_weights
+from repro.store import AuthPolicy, StoreServer
+from repro.units import GB
+
+
+class Rig:
+    def __init__(self, n_own=2, n_victim=3, alpha=0.5, stripe_size=64,
+                 replication=1, erasure=None, password="pw",
+                 write_window=4):
+        self.cluster = build_das5(n_nodes=n_own + n_victim)
+        self.env = self.cluster.env
+        self.own = list(self.cluster.nodes[:n_own])
+        self.victims = list(self.cluster.nodes[n_own:])
+        auth = AuthPolicy(password, allowed_nodes=[n.name for n in self.own])
+        self.servers = {}
+        for node in self.own + self.victims:
+            self.servers[node.name] = StoreServer(
+                self.env, node, self.cluster.fabric, capacity=10 * GB,
+                auth=auth, name=f"srv@{node.name}")
+        weights = own_victim_weights(alpha)
+        policy = PlacementPolicy({
+            "own": ClassSpec(weights["own"],
+                             tuple(n.name for n in self.own)),
+            "victim": ClassSpec(weights["victim"],
+                                tuple(n.name for n in self.victims)),
+        })
+        self.fs = MemFSS(self.env, self.cluster.fabric, self.own,
+                         self.servers, policy, password=password,
+                         stripe_size=stripe_size, replication=replication,
+                         erasure=erasure, write_window=write_window)
+
+    def run(self, gen):
+        """Drive a generator to completion, return its value."""
+        proc = self.env.process(gen)
+        return self.env.run(until=proc)
+
+
+@pytest.fixture
+def rig():
+    return Rig()
+
+
+@pytest.fixture
+def make_rig():
+    return Rig

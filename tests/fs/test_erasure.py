@@ -1,0 +1,76 @@
+"""Unit tests for the erasure-coding helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import group_layout, parity_key, storage_overhead, xor_parity
+
+
+class TestGroupLayout:
+    def test_exact_groups(self):
+        assert group_layout(8, 4) == [(0, 4), (4, 4)]
+
+    def test_ragged_tail(self):
+        assert group_layout(10, 4) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_empty(self):
+        assert group_layout(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_layout(10, 0)
+        with pytest.raises(ValueError):
+            group_layout(-1, 4)
+
+    @given(st.integers(0, 200), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_property_groups_cover_all_stripes(self, n, k):
+        layout = group_layout(n, k)
+        covered = sum(count for _f, count in layout)
+        assert covered == n
+        # Contiguous, non-overlapping.
+        pos = 0
+        for first, count in layout:
+            assert first == pos
+            pos += count
+
+
+class TestXorParity:
+    def test_empty(self):
+        assert xor_parity([]) == b""
+
+    def test_single_piece_is_identity(self):
+        assert xor_parity([b"abc"]) == b"abc"
+
+    def test_recovers_missing_piece(self):
+        pieces = [b"hello", b"world", b"!" * 5]
+        parity = xor_parity(pieces)
+        recovered = xor_parity([parity, pieces[1], pieces[2]])
+        assert recovered == pieces[0]
+
+    def test_pads_to_longest(self):
+        parity = xor_parity([b"\x01", b"\x02\x03"])
+        assert parity == bytes([0x03, 0x03])
+
+    @given(st.lists(st.binary(min_size=0, max_size=40), min_size=2,
+                    max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_xor_roundtrip(self, pieces):
+        parity = xor_parity(pieces)
+        # XOR of parity with all but the first recovers the first (padded).
+        rec = xor_parity([parity] + pieces[1:])
+        assert rec[:len(pieces[0])] == pieces[0]
+
+
+class TestOverheadAndKeys:
+    def test_storage_overhead(self):
+        assert storage_overhead(4, 1) == pytest.approx(0.25)
+        assert storage_overhead(10, 2) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            storage_overhead(0, 1)
+
+    def test_parity_key_shape(self):
+        assert parity_key(3, 1, 0) == ("parity", 3, 1, 0)
+        with pytest.raises(ValueError):
+            parity_key(3, -1, 0)

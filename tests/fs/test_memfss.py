@@ -1,0 +1,229 @@
+"""Functional tests for MemFSS: real bytes through the simulated fabric."""
+
+import pytest
+
+from repro.fs import FileExists, FileNotFound, FsError, NotADir
+from repro.fs.memfss import _REGISTRY_KEY
+
+
+class TestWriteRead:
+    def test_roundtrip_multi_stripe(self, rig):
+        data = bytes(range(256)) * 10  # 2560 B over 64 B stripes = 40
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        size, back = rig.run(rig.fs.read_file(rig.own[0], "/f"))
+        assert size == len(data)
+        assert back == data
+
+    def test_roundtrip_size_only(self, rig):
+        rig.run(rig.fs.write_file(rig.own[0], "/f", nbytes=1000))
+        size, back = rig.run(rig.fs.read_file(rig.own[1], "/f"))
+        assert size == 1000
+        assert back is None
+
+    def test_empty_file(self, rig):
+        rig.run(rig.fs.write_file(rig.own[0], "/empty", payload=b""))
+        size, back = rig.run(rig.fs.read_file(rig.own[0], "/empty"))
+        assert size == 0
+        assert back == b""
+
+    def test_read_missing_raises(self, rig):
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.read_file(rig.own[0], "/nope"))
+
+    def test_read_from_other_own_node(self, rig):
+        data = b"cross-node" * 50
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        _, back = rig.run(rig.fs.read_file(rig.own[1], "/f"))
+        assert back == data
+
+    def test_victim_node_cannot_mount(self, rig):
+        with pytest.raises(FsError):
+            rig.fs.client(rig.victims[0])
+
+    def test_stripes_split_between_classes(self, rig):
+        for i in range(20):
+            rig.run(rig.fs.write_file(rig.own[0], f"/f{i}",
+                                      payload=bytes(640)))
+        own_bytes = sum(rig.servers[n.name].kv.bytes_in for n in rig.own)
+        vic_bytes = sum(rig.servers[n.name].kv.bytes_in for n in rig.victims)
+        assert own_bytes > 0
+        assert vic_bytes > 0
+
+    def test_stat_reports_metadata(self, rig):
+        rig.run(rig.fs.write_file(rig.own[0], "/f", nbytes=1000))
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        assert meta.size == 1000
+        assert meta.n_stripes == 16  # ceil(1000/64)
+        assert set(meta.class_weights) == {"own", "victim"}
+
+    def test_io_counters(self, rig):
+        rig.run(rig.fs.write_file(rig.own[0], "/f", nbytes=500))
+        rig.run(rig.fs.read_file(rig.own[0], "/f"))
+        assert rig.fs.bytes_written == 500
+        assert rig.fs.bytes_read == 500
+        assert rig.fs.files_created == 1
+
+    def test_write_validation(self, rig):
+        with pytest.raises(ValueError):
+            rig.run(rig.fs.write_file(rig.own[0], "/f"))
+        with pytest.raises(ValueError):
+            rig.run(rig.fs.write_file(rig.own[0], "/f", nbytes=-1))
+
+
+class TestNamespace:
+    def test_mkdir_listdir(self, rig):
+        rig.run(rig.fs.mkdir(rig.own[0], "/data"))
+        rig.run(rig.fs.write_file(rig.own[0], "/data/a", nbytes=10))
+        rig.run(rig.fs.write_file(rig.own[0], "/data/b", nbytes=10))
+        entries = rig.run(rig.fs.listdir(rig.own[0], "/data"))
+        assert entries == ["a", "b"]
+        root = rig.run(rig.fs.listdir(rig.own[0], "/"))
+        assert "data/" in root
+
+    def test_mkdir_missing_parent_raises(self, rig):
+        with pytest.raises(NotADir):
+            rig.run(rig.fs.mkdir(rig.own[0], "/a/b/c"))
+
+    def test_nested_mkdir(self, rig):
+        rig.run(rig.fs.mkdir(rig.own[0], "/a"))
+        rig.run(rig.fs.mkdir(rig.own[0], "/a/b"))
+        assert rig.run(rig.fs.listdir(rig.own[0], "/a")) == ["b/"]
+
+    def test_unlink_removes_everything(self, rig):
+        data = bytes(1280)
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        used_before = rig.fs.used_bytes()
+        released = rig.run(rig.fs.unlink(rig.own[0], "/f"))
+        assert released == len(data)
+        assert rig.fs.used_bytes() < used_before
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.read_file(rig.own[0], "/f"))
+        assert "f" not in rig.run(rig.fs.listdir(rig.own[0], "/"))
+
+    def test_unlink_missing_raises(self, rig):
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.unlink(rig.own[0], "/ghost"))
+
+    def test_rename_keeps_data_without_moving_stripes(self, rig):
+        data = b"stay-put" * 100
+        rig.run(rig.fs.write_file(rig.own[0], "/old", payload=data))
+        puts_before = sum(s.kv.puts for s in rig.servers.values())
+        rig.run(rig.fs.rename(rig.own[0], "/old", "/new"))
+        _, back = rig.run(rig.fs.read_file(rig.own[0], "/new"))
+        assert back == data
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.read_file(rig.own[0], "/old"))
+        # Only one metadata put, no stripe puts.
+        puts_after = sum(s.kv.puts for s in rig.servers.values())
+        assert puts_after - puts_before == 1
+
+    def test_registry_tracks_files(self, rig):
+        rig.run(rig.fs.write_file(rig.own[0], "/a", nbytes=1))
+        rig.run(rig.fs.write_file(rig.own[0], "/b", nbytes=1))
+        assert rig.run(rig.fs.list_all_files(rig.own[0])) == ["/a", "/b"]
+        rig.run(rig.fs.unlink(rig.own[0], "/a"))
+        assert rig.run(rig.fs.list_all_files(rig.own[0])) == ["/b"]
+
+    def test_exists(self, rig):
+        assert rig.run(rig.fs.exists(rig.own[0], "/f")) is False
+        rig.run(rig.fs.write_file(rig.own[0], "/f", nbytes=1))
+        assert rig.run(rig.fs.exists(rig.own[0], "/f")) is True
+
+
+class TestMetadataPlacement:
+    def test_metadata_lives_on_own_nodes_only(self, rig):
+        for i in range(10):
+            rig.run(rig.fs.write_file(rig.own[0], f"/f{i}", nbytes=100))
+        for victim in rig.victims:
+            kv = rig.servers[victim.name].kv
+            meta_keys = [k for k in kv.keys()
+                         if isinstance(k, tuple)
+                         and k[0] in ("filemeta", "dirents", "allfiles")]
+            assert meta_keys == []
+
+    def test_metadata_spread_by_modulo(self, rig):
+        for i in range(40):
+            rig.run(rig.fs.write_file(rig.own[0], f"/f{i}", nbytes=10))
+        per_own = [sum(1 for k in rig.servers[n.name].kv.keys()
+                       if isinstance(k, tuple) and k[0] == "filemeta")
+                   for n in rig.own]
+        assert all(c > 0 for c in per_own)
+        assert sum(per_own) == 40
+
+
+class TestReplication:
+    def test_replicated_stripes_on_two_nodes(self, make_rig):
+        rig = make_rig(replication=2)
+        data = bytes(640)
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        # Every stripe key must exist on exactly 2 servers.
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        from repro.fs import stripe_key
+        for i in range(meta.n_stripes):
+            holders = [n for n, s in rig.servers.items()
+                       if stripe_key(meta.inode, i) in s.kv]
+            assert len(holders) == 2
+
+    def test_read_survives_primary_loss(self, make_rig):
+        rig = make_rig(replication=2)
+        data = b"replicated" * 64
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        # Wipe each stripe's primary copy.
+        from repro.fs import PlacementPolicy, stripe_key
+        policy = PlacementPolicy.from_meta(meta)
+        for i in range(meta.n_stripes):
+            key = stripe_key(meta.inode, i)
+            primary = policy.place(key)
+            rig.servers[primary].kv.delete(key)
+        _, back = rig.run(rig.fs.read_file(rig.own[0], "/f"))
+        assert back == data
+
+    def test_unreplicated_loss_raises(self, rig):
+        data = bytes(128)
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        from repro.fs import PlacementPolicy, stripe_key
+        policy = PlacementPolicy.from_meta(meta)
+        key = stripe_key(meta.inode, 0)
+        rig.servers[policy.place(key)].kv.delete(key)
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.read_file(rig.own[0], "/f"))
+
+
+class TestErasure:
+    def test_parity_written(self, make_rig):
+        rig = make_rig(erasure=(4, 1))
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=bytes(640)))
+        parity_keys = [k for s in rig.servers.values() for k in s.kv.keys()
+                       if isinstance(k, tuple) and k[0] == "parity"]
+        # 640 B / 64 B = 10 stripes -> 3 groups of <=4 -> 3 parity stripes.
+        assert len(parity_keys) == 3
+
+    def test_reconstruct_lost_stripe(self, make_rig):
+        rig = make_rig(erasure=(4, 1))
+        data = bytes((i * 37) % 256 for i in range(640))
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        from repro.fs import PlacementPolicy, stripe_key
+        policy = PlacementPolicy.from_meta(meta)
+        key = stripe_key(meta.inode, 5)
+        rig.servers[policy.place(key)].kv.delete(key)
+        _, back = rig.run(rig.fs.read_file(rig.own[0], "/f"))
+        assert back == data
+
+    def test_double_loss_in_group_fails(self, make_rig):
+        rig = make_rig(erasure=(4, 1))
+        rig.run(rig.fs.write_file(rig.own[0], "/f", payload=bytes(640)))
+        meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
+        from repro.fs import PlacementPolicy, stripe_key
+        policy = PlacementPolicy.from_meta(meta)
+        for idx in (0, 1):  # same parity group
+            key = stripe_key(meta.inode, idx)
+            rig.servers[policy.place(key)].kv.delete(key)
+        with pytest.raises(FileNotFound):
+            rig.run(rig.fs.read_file(rig.own[0], "/f"))
+
+    def test_erasure_and_replication_exclusive(self, make_rig):
+        with pytest.raises(ValueError):
+            make_rig(replication=2, erasure=(4, 1))

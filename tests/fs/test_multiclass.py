@@ -1,0 +1,113 @@
+"""Dynamic multi-victim-class support (paper §III-B, §III-D).
+
+The weighted class layer "can be generalized to an arbitrary number of
+classes, allowing for multiple types of victim classes", and metadata
+records the weights precisely "to support dynamic additions of subsequent
+victim node classes".  These tests grow a deployment from own-only to two
+victim classes at runtime and check that old placements survive.
+"""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from repro.hashing import calibrate_weights
+from repro.store import StoreServer
+from repro.units import GB
+
+
+def build_rig(n_own=2, n_v1=3, n_v2=3):
+    cluster = build_das5(n_nodes=n_own + n_v1 + n_v2)
+    env = cluster.env
+    res = cluster.reservations
+    own = list(res.reserve("memfss", n_own).nodes)
+    servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
+               for n in own}
+    policy = PlacementPolicy(
+        {"own": ClassSpec(0.0, tuple(n.name for n in own))})
+    fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64)
+    t1 = res.reserve("tenant1", n_v1)
+    t2 = res.reserve("tenant2", n_v2)
+    res.enforce_scavenging(2 * GB)
+    mgr = ScavengingManager(env, fs, res)
+    return cluster, fs, mgr, own, list(t1.nodes), list(t2.nodes)
+
+
+def run(cluster, gen):
+    proc = cluster.env.process(gen)
+    return cluster.env.run(until=proc)
+
+
+class TestMultipleVictimClasses:
+    def test_second_class_joins_at_runtime(self):
+        cluster, fs, mgr, own, v1, v2 = build_rig()
+        # Phase 1: scavenge the first tenant's nodes (50/50 split).
+        w2 = calibrate_weights({"own": 0.5, "victim": 0.5})
+        fs.policy = fs.policy.reweighted({"own": w2["own"]})
+        mgr.scavenge(v1, 2 * GB, w2["victim"], class_name="victim")
+        blobs = {}
+        for i in range(10):
+            blob = bytes((i * 31 + j) % 256 for j in range(640))
+            blobs[f"/a{i}"] = blob
+            run(cluster, fs.write_file(own[0], f"/a{i}", payload=blob))
+
+        # Phase 2: a second tenant's nodes become available; rebalance to
+        # a three-way split and scavenge them as a *new* class.
+        w3 = calibrate_weights({"own": 0.4, "victim": 0.3, "victim2": 0.3},
+                               samples=40_000, seed=11)
+        fs.policy = fs.policy.reweighted(
+            {"own": w3["own"], "victim": w3["victim"]})
+        mgr.scavenge(v2, 2 * GB, w3["victim2"], class_name="victim2")
+        assert set(fs.policy.class_names) == {"own", "victim", "victim2"}
+
+        for i in range(10):
+            blob = bytes((i * 7 + 3) % 256 for _ in range(640))
+            blobs[f"/b{i}"] = blob
+            run(cluster, fs.write_file(own[0], f"/b{i}", payload=blob))
+
+        # Old files read back under their recorded (two-class) policy; new
+        # files under the three-class policy.
+        for path, blob in blobs.items():
+            _, back = run(cluster, fs.read_file(own[0], path))
+            assert back == blob, path
+
+    def test_new_class_receives_data(self):
+        cluster, fs, mgr, own, v1, v2 = build_rig()
+        w3 = calibrate_weights({"own": 0.34, "victim": 0.33, "victim2": 0.33},
+                               samples=40_000, seed=7)
+        fs.policy = fs.policy.reweighted({"own": w3["own"]})
+        mgr.scavenge(v1, 2 * GB, w3["victim"], class_name="victim")
+        mgr.scavenge(v2, 2 * GB, w3["victim2"], class_name="victim2")
+        for i in range(30):
+            run(cluster, fs.write_file(own[0], f"/f{i}",
+                                       payload=bytes(1280)))
+        bytes_v2 = sum(fs.servers[n.name].kv.used_bytes for n in v2)
+        assert bytes_v2 > 0
+
+    def test_old_metadata_records_old_membership(self):
+        cluster, fs, mgr, own, v1, v2 = build_rig()
+        mgr.scavenge(v1, 2 * GB, 0.0, class_name="victim")
+        run(cluster, fs.write_file(own[0], "/old", nbytes=640))
+        mgr.scavenge(v2, 2 * GB, 0.0, class_name="victim2")
+        run(cluster, fs.write_file(own[0], "/new", nbytes=640))
+        old_meta = run(cluster, fs.stat(own[0], "/old"))
+        new_meta = run(cluster, fs.stat(own[0], "/new"))
+        assert "victim2" not in old_meta.class_weights
+        assert "victim2" in new_meta.class_weights
+
+    def test_evacuating_one_class_leaves_other_intact(self):
+        cluster, fs, mgr, own, v1, v2 = build_rig()
+        mgr.scavenge(v1, 2 * GB, 0.0, class_name="victim")
+        mgr.scavenge(v2, 2 * GB, 0.0, class_name="victim2")
+        blobs = {}
+        for i in range(12):
+            blob = bytes((i * 13 + 5) % 256 for _ in range(640))
+            blobs[f"/f{i}"] = blob
+            run(cluster, fs.write_file(own[0], f"/f{i}", payload=blob))
+        # Withdraw one node of class victim2.
+        run(cluster, mgr.withdraw(v2[0]))
+        assert v2[0].name not in fs.policy.all_nodes
+        assert set(fs.policy.class_names) == {"own", "victim", "victim2"}
+        for path, blob in blobs.items():
+            _, back = run(cluster, fs.read_file(own[0], path))
+            assert back == blob, path

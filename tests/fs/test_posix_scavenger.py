@@ -1,0 +1,233 @@
+"""Tests for the FUSE-like mount layer and the scavenging manager."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.fs import (ClassSpec, FileExists, FsError, HandleClosed, MemFSS,
+                      MountPoint, PlacementPolicy, ScavengingManager,
+                      stripe_key)
+from repro.fs import PlacementPolicy as PP
+from repro.hashing import own_victim_weights
+from repro.store import StoreServer
+from repro.units import GB
+
+
+class TestMountPoint:
+    def test_only_own_nodes_mount(self, rig):
+        MountPoint(rig.fs, rig.own[0])
+        with pytest.raises(FsError):
+            MountPoint(rig.fs, rig.victims[0])
+
+    def test_open_write_close_read(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+
+        def writer():
+            h = yield from mp.open("/x", "w")
+            yield from h.write(b"hello ")
+            yield from h.write(b"world")
+            meta = yield from h.close()
+            return meta
+
+        meta = rig.run(writer())
+        assert meta.size == 11
+
+        def reader():
+            h = yield from mp.open("/x", "r")
+            first = yield from h.read(5)
+            rest = yield from h.read()
+            return first, rest
+
+        first, rest = rig.run(reader())
+        assert first == b"hello"
+        assert rest == b" world"
+
+    def test_write_size_mode(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+
+        def writer():
+            h = yield from mp.open("/big", "w")
+            yield from h.write_size(500)
+            yield from h.write_size(500)
+            return (yield from h.close())
+
+        meta = rig.run(writer())
+        assert meta.size == 1000
+
+        def reader():
+            h = yield from mp.open("/big", "r")
+            n = yield from h.read(100)
+            m = yield from h.read()
+            return n, m
+
+        n, m = rig.run(reader())
+        assert (n, m) == (100, 900)
+
+    def test_seek(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+        rig.run(mp.write_file("/f", payload=b"0123456789"))
+
+        def reader():
+            h = yield from mp.open("/f", "r")
+            h.seek(4)
+            return (yield from h.read(3))
+
+        assert rig.run(reader()) == b"456"
+
+    def test_open_existing_for_write_raises(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+        rig.run(mp.write_file("/f", nbytes=1))
+        with pytest.raises(FileExists):
+            rig.run(mp.open("/f", "w"))
+
+    def test_closed_handle_rejects_io(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+
+        def flow():
+            h = yield from mp.open("/f", "w")
+            yield from h.write(b"x")
+            yield from h.close()
+            yield from h.write(b"y")
+
+        with pytest.raises(HandleClosed):
+            rig.run(flow())
+
+    def test_double_close_is_noop(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+
+        def flow():
+            h = yield from mp.open("/f", "w")
+            yield from h.write(b"x")
+            yield from h.close()
+            return (yield from h.close())
+
+        assert rig.run(flow()) is None
+
+    def test_mode_validation(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+        with pytest.raises(ValueError):
+            rig.run(mp.open("/f", "a"))
+
+    def test_mixing_payload_and_size_writes_rejected(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+
+        def flow():
+            h = yield from mp.open("/f", "w")
+            yield from h.write(b"x")
+            yield from h.write_size(10)
+
+        with pytest.raises(FsError):
+            rig.run(flow())
+
+    def test_namespace_passthrough(self, rig):
+        mp = MountPoint(rig.fs, rig.own[0])
+        rig.run(mp.mkdir("/d"))
+        rig.run(mp.write_file("/d/f", nbytes=5))
+        assert rig.run(mp.listdir("/d")) == ["f"]
+        assert rig.run(mp.exists("/d/f"))
+        rig.run(mp.rename("/d/f", "/d/g"))
+        meta = rig.run(mp.stat("/d/g"))
+        assert meta.size == 5
+        rig.run(mp.unlink("/d/g"))
+        assert rig.run(mp.listdir("/d")) == []
+
+
+def build_scavenging_rig(alpha=0.5, n_own=2, n_victim=3,
+                         per_node_memory=2 * GB):
+    """Own-only FS first; victims joined through the ScavengingManager."""
+    cluster = build_das5(n_nodes=n_own + n_victim)
+    env = cluster.env
+    res = cluster.reservations
+    own = list(res.reserve("memfss-user", n_own).nodes)
+    servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
+               for n in own}
+    policy = PlacementPolicy(
+        {"own": ClassSpec(0.0, tuple(n.name for n in own))})
+    fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64)
+    tenant = res.reserve("tenant", n_victim)
+    for node in tenant.nodes:
+        res.register_offer(node, per_node_memory, owner="tenant")
+    mgr = ScavengingManager(env, fs, res)
+    weights = own_victim_weights(alpha)
+    # Re-weight the own class and add the victims at their computed weight.
+    fs.policy = fs.policy.reweighted({"own": weights["own"]})
+    mgr.scavenge(tenant.nodes, per_node_memory, weights["victim"])
+    return cluster, fs, mgr, own, list(tenant.nodes)
+
+
+class TestScavengingManager:
+    def run(self, cluster, gen):
+        proc = cluster.env.process(gen)
+        return cluster.env.run(until=proc)
+
+    def test_scavenge_extends_capacity(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig()
+        assert set(fs.policy.class_names) == {"own", "victim"}
+        assert fs.total_capacity() == 2 * 10 * GB + 3 * 2 * GB
+
+    def test_data_lands_on_victims(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig(alpha=0.25)
+        for i in range(20):
+            self.run(cluster, fs.write_file(own[0], f"/f{i}",
+                                            payload=bytes(640)))
+        vic_bytes = sum(fs.servers[v.name].kv.used_bytes for v in victims)
+        assert vic_bytes > 0
+
+    def test_container_memory_accounted_on_victim(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig()
+        self.run(cluster, fs.write_file(own[0], "/f", payload=bytes(6400)))
+        total_victim_mem = sum(
+            v.memory_owned_by(f"container:memfss@{v.name}") for v in victims)
+        assert total_victim_mem > 0
+
+    def test_evacuation_preserves_data(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig(alpha=0.25)
+        blobs = {f"/f{i}": bytes((i * 31 + j) % 256 for j in range(640))
+                 for i in range(12)}
+        for path, blob in blobs.items():
+            self.run(cluster, fs.write_file(own[0], path, payload=blob))
+        # Evict one victim via its lease (the watcher migrates stripes).
+        target = victims[0]
+        cluster.reservations.revoke_leases(target, cause="pressure")
+        cluster.env.run()  # let the watcher finish evacuating
+        assert target.name not in fs.servers
+        assert target.name not in fs.policy.all_nodes
+        assert mgr.evictions == 1
+        for path, blob in blobs.items():
+            _, back = self.run(cluster, fs.read_file(own[0], path))
+            assert back == blob, path
+
+    def test_evacuation_frees_victim_memory(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig()
+        self.run(cluster, fs.write_file(own[0], "/f", payload=bytes(6400)))
+        target = victims[0]
+        self.run(cluster, mgr.withdraw(target))
+        assert target.memory_owned_by(f"container:memfss@{target.name}") == 0
+
+    def test_new_files_avoid_evacuated_node(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig(alpha=0.0)
+        target = victims[0]
+        self.run(cluster, mgr.withdraw(target))
+        for i in range(10):
+            self.run(cluster, fs.write_file(own[0], f"/g{i}",
+                                            payload=bytes(640)))
+        assert all(k is not None for k in [1])  # smoke
+        # No stripe of the new files may be on the withdrawn node's server
+        # (it is gone from fs.servers entirely).
+        assert target.name not in fs.servers
+
+    def test_metadata_rewritten_after_eviction(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig(alpha=0.25)
+        self.run(cluster, fs.write_file(own[0], "/f", payload=bytes(1280)))
+        target = victims[0]
+        self.run(cluster, mgr.withdraw(target))
+        meta = self.run(cluster, fs.stat(own[0], "/f"))
+        for members in meta.class_members.values():
+            assert target.name not in members
+
+    def test_migrated_bytes_counted(self):
+        cluster, fs, mgr, own, victims = build_scavenging_rig(alpha=0.0)
+        self.run(cluster, fs.write_file(own[0], "/f", payload=bytes(6400)))
+        held = fs.servers[victims[0].name].kv.used_bytes
+        self.run(cluster, mgr.withdraw(victims[0]))
+        if held > 0:
+            assert mgr.migrated_bytes > 0

@@ -1,0 +1,119 @@
+"""Unit tests for striping and metadata records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import (FileMeta, PathError, join_payload, normalize_path,
+                      parent_dir, split_payload, stripe_count, stripe_key,
+                      stripe_spans)
+
+
+class TestStriping:
+    def test_count_exact_multiple(self):
+        assert stripe_count(100, 25) == 4
+
+    def test_count_with_tail(self):
+        assert stripe_count(101, 25) == 5
+
+    def test_count_zero_size(self):
+        assert stripe_count(0, 25) == 0
+
+    def test_count_smaller_than_stripe(self):
+        assert stripe_count(10, 25) == 1
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            stripe_count(-1, 25)
+        with pytest.raises(ValueError):
+            stripe_count(10, 0)
+
+    def test_spans_cover_file_exactly(self):
+        spans = stripe_spans(103, 25)
+        assert spans[0].offset == 0
+        assert spans[-1].end == 103
+        assert sum(s.length for s in spans) == 103
+        for a, b in zip(spans, spans[1:]):
+            assert a.end == b.offset
+
+    def test_split_join_roundtrip(self):
+        data = bytes(range(256)) * 3
+        pieces = split_payload(data, 100)
+        assert len(pieces) == stripe_count(len(data), 100)
+        assert join_payload(pieces) == data
+
+    def test_split_empty(self):
+        assert split_payload(b"", 10) == []
+
+    def test_stripe_key_shape(self):
+        assert stripe_key(7, 3) == ("stripe", 7, 3)
+        with pytest.raises(ValueError):
+            stripe_key(7, -1)
+
+    @given(st.binary(min_size=0, max_size=500),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_split_join_identity(self, data, stripe):
+        assert join_payload(split_payload(data, stripe)) == data
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize_path("/a/b/../c") == "/a/c"
+        assert normalize_path("/a//b/") == "/a/b"
+        assert normalize_path("/") == "/"
+
+    def test_relative_rejected(self):
+        with pytest.raises(PathError):
+            normalize_path("a/b")
+        with pytest.raises(PathError):
+            normalize_path("")
+
+    def test_dotdot_at_root_is_root(self):
+        # POSIX: "/.." is "/" — normalization cannot escape the root.
+        assert normalize_path("/../etc") == "/etc"
+        assert normalize_path("/..") == "/"
+
+    def test_parent(self):
+        assert parent_dir("/a/b/c") == "/a/b"
+        assert parent_dir("/a") == "/"
+
+
+class TestFileMeta:
+    def make(self, **kw):
+        base = dict(path="/d/f", inode=9, size=1000, stripe_size=100,
+                    n_stripes=10,
+                    class_weights={"own": 0.0, "victim": 1.5e18},
+                    class_members={"own": ["n0"], "victim": ["n1", "n2"]},
+                    replication=2)
+        base.update(kw)
+        return FileMeta(**base)
+
+    def test_roundtrip(self):
+        meta = self.make()
+        again = FileMeta.from_bytes(meta.to_bytes())
+        assert again == meta
+
+    def test_roundtrip_with_erasure(self):
+        meta = self.make(replication=1, erasure=(4, 1))
+        again = FileMeta.from_bytes(meta.to_bytes())
+        assert again.erasure == (4, 1)
+
+    def test_path_normalized(self):
+        meta = self.make(path="/d//f")
+        assert meta.path == "/d/f"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(size=-1)
+        with pytest.raises(ValueError):
+            self.make(stripe_size=0)
+        with pytest.raises(ValueError):
+            self.make(replication=0)
+
+    @given(st.integers(0, 10**12), st.integers(1, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_serialization_stable(self, size, stripe):
+        meta = self.make(size=size, stripe_size=stripe,
+                         n_stripes=stripe_count(size, stripe))
+        assert FileMeta.from_bytes(meta.to_bytes()) == meta

@@ -1,0 +1,115 @@
+"""Tests for the consistent-hashing baseline and modulo metadata placer."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing, ModuloPlacer
+
+
+class TestConsistentHashRing:
+    def test_placement_deterministic(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(6)])
+        assert all(ring.place(f"k{i}") == ring.place(f"k{i}")
+                   for i in range(100))
+
+    def test_roughly_uniform_with_many_vnodes(self):
+        nodes = [f"n{i}" for i in range(5)]
+        ring = ConsistentHashRing(nodes, vnodes=256)
+        counts = collections.Counter(ring.place(f"k{i}") for i in range(10_000))
+        for n in nodes:
+            assert counts[n] == pytest.approx(2000, rel=0.25)
+
+    def test_weighted_nodes_take_proportional_share(self):
+        ring = ConsistentHashRing(["big", "small"], vnodes=256,
+                                  weights={"big": 3.0, "small": 1.0})
+        counts = collections.Counter(ring.place(f"k{i}") for i in range(8000))
+        ratio = counts["big"] / counts["small"]
+        assert ratio == pytest.approx(3.0, rel=0.35)
+
+    def test_remove_node_disruption_bounded(self):
+        nodes = [f"n{i}" for i in range(8)]
+        ring = ConsistentHashRing(nodes, vnodes=128)
+        keys = [f"k{i}" for i in range(4000)]
+        before = {k: ring.place(k) for k in keys}
+        ring.remove_node("n0")
+        moved = sum(1 for k in keys if ring.place(k) != before[k])
+        # Only keys owned by n0 move (~1/8 of them).
+        owned = sum(1 for k in keys if before[k] == "n0")
+        assert moved == owned
+
+    def test_add_node_takes_share(self):
+        nodes = [f"n{i}" for i in range(7)]
+        ring = ConsistentHashRing(nodes, vnodes=128)
+        keys = [f"k{i}" for i in range(4000)]
+        before = {k: ring.place(k) for k in keys}
+        ring.add_node("new")
+        moved = [k for k in keys if ring.place(k) != before[k]]
+        assert all(ring.place(k) == "new" for k in moved)
+        assert len(moved) == pytest.approx(500, rel=0.4)
+
+    def test_replicas_distinct(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(6)], vnodes=64)
+        reps = ring.replicas("some-key", 3)
+        assert len(reps) == 3
+        assert len(set(reps)) == 3
+        assert reps[0] == ring.place("some-key")
+
+    def test_replicas_capped_at_node_count(self):
+        ring = ConsistentHashRing(["a", "b"], vnodes=16)
+        assert len(ring.replicas("k", 5)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"], vnodes=0)
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+        with pytest.raises(KeyError):
+            ring.remove_node("zzz")
+        with pytest.raises(ValueError):
+            ring.replicas("k", 0)
+
+
+class TestModuloPlacer:
+    def test_deterministic_and_member(self):
+        nodes = [f"n{i}" for i in range(4)]
+        p = ModuloPlacer(nodes)
+        for i in range(100):
+            assert p.place(f"meta-{i}") in nodes
+            assert p.place(f"meta-{i}") == p.place(f"meta-{i}")
+
+    def test_roughly_uniform(self):
+        nodes = [f"n{i}" for i in range(4)]
+        p = ModuloPlacer(nodes)
+        counts = collections.Counter(p.place(f"m{i}") for i in range(4000))
+        for n in nodes:
+            assert counts[n] == pytest.approx(1000, rel=0.15)
+
+    def test_replicas_distinct_and_wrap(self):
+        p = ModuloPlacer(["a", "b", "c"])
+        reps = p.replicas("key", 3)
+        assert sorted(reps) == ["a", "b", "c"]
+        assert reps[0] == p.place("key")
+
+    def test_replicas_capped(self):
+        p = ModuloPlacer(["a", "b"])
+        assert len(p.replicas("k", 10)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModuloPlacer([])
+        with pytest.raises(ValueError):
+            ModuloPlacer(["a", "a"])
+        with pytest.raises(ValueError):
+            ModuloPlacer(["a"]).replicas("k", 0)
+
+    @given(st.text(min_size=1, max_size=16), st.integers(2, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_place_in_nodes(self, key, n):
+        nodes = [f"n{i}" for i in range(n)]
+        assert ModuloPlacer(nodes).place(key) in nodes

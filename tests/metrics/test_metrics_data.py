@@ -1,0 +1,108 @@
+"""Tests for metrics rendering/utilization and the Table I survey data."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.data import TABLE_I, SurveyRecord, check_simulated_utilization
+from repro.metrics import (class_utilization, fmt_pct, node_utilization,
+                           render_bars, render_table)
+from repro.units import GB, fmt_bytes, fmt_rate
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [["1", "22"], ["333", "4"]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+    def test_columns_aligned(self):
+        out = render_table(["col", "val"], [["aaaa", "1"], ["b", "22"]])
+        lines = out.splitlines()
+        # Header and data rows share the column boundary position.
+        assert lines[0].index("|") == lines[2].index("|") \
+            == lines[3].index("|")
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        out = render_bars({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(12.345) == "12.3%"
+
+
+class TestUnits:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(1536) == "1.50 KB"
+        assert fmt_bytes(3 * GB) == "3.00 GB"
+        assert fmt_bytes(10) == "10 B"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(2 * GB) == "2.00 GB/s"
+
+
+class TestUtilization:
+    def test_node_utilization(self):
+        cluster = build_das5(n_nodes=2)
+        env = cluster.env
+        a, b = cluster.nodes
+        a.cpu.submit(None, cap=16.0, label="x")     # 50% CPU
+        cluster.fabric.transfer(a, b, None, cap=3 * GB)  # 50% of 6 GB/s
+        env.run(until=10)
+        u = node_utilization(a, cluster.fabric.net, 10.0)
+        assert u.cpu == pytest.approx(0.5)
+        assert u.nic_tx == pytest.approx(0.5)
+        assert u.network == pytest.approx(0.5)
+
+    def test_class_utilization_averages(self):
+        cluster = build_das5(n_nodes=2)
+        env = cluster.env
+        a, b = cluster.nodes
+        a.cpu.submit(None, cap=32.0, label="x")  # 100% on one of two
+        env.run(until=5)
+        u = class_utilization([a, b], cluster.fabric.net, 5.0)
+        assert u.cpu == pytest.approx(0.5)
+
+    def test_validation(self):
+        cluster = build_das5(n_nodes=1)
+        with pytest.raises(ValueError):
+            node_utilization(cluster.nodes[0], cluster.fabric.net, 0)
+        with pytest.raises(ValueError):
+            class_utilization([], cluster.fabric.net, 1.0)
+
+
+class TestSurvey:
+    def test_table_has_six_rows(self):
+        assert len(TABLE_I) == 6
+        studies = [r.study for r in TABLE_I]
+        assert "Google Traces" in studies
+        assert "Mesos" in studies
+
+    def test_covers_logic(self):
+        rec = SurveyRecord("x", cpu=(0.0, 0.6), memory=(0.2, 0.4),
+                           network=(None, None))
+        out = rec.covers(cpu=0.5, memory=0.5, network=0.1)
+        assert out["cpu"] is True
+        assert out["memory"] is False
+        assert out["network"] is None
+
+    def test_check_simulated(self):
+        results = check_simulated_utilization(cpu=0.55, memory=0.35,
+                                              network=0.05)
+        as_dict = dict(results)
+        assert as_dict["Google Traces"]["cpu"] is True
+        assert as_dict["Taobao"]["memory"] is True

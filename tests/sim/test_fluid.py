@@ -1,0 +1,225 @@
+"""Unit tests for max-min fair fluid resources."""
+
+import math
+
+import pytest
+
+from repro.sim import Environment, FluidResource, SimulationError
+from repro.sim.fluid import maxmin_allocate
+
+
+class TestMaxminAllocate:
+    def test_empty(self):
+        assert maxmin_allocate(10, []) == []
+
+    def test_single_uncapped_gets_all(self):
+        assert maxmin_allocate(10, [math.inf]) == [10]
+
+    def test_equal_split(self):
+        assert maxmin_allocate(12, [math.inf] * 3) == [4, 4, 4]
+
+    def test_cap_respected_and_redistributed(self):
+        rates = maxmin_allocate(12, [2, math.inf, math.inf])
+        assert rates == [2, 5, 5]
+
+    def test_all_capped_below_fair_share(self):
+        rates = maxmin_allocate(100, [1, 2, 3])
+        assert rates == [1, 2, 3]
+
+    def test_order_preserved(self):
+        rates = maxmin_allocate(10, [math.inf, 1])
+        assert rates == [9, 1]
+
+    def test_conservation(self):
+        caps = [3, math.inf, 7, math.inf, 1]
+        rates = maxmin_allocate(20, caps)
+        assert sum(rates) == pytest.approx(20)
+        for r, c in zip(rates, caps):
+            assert r <= c + 1e-9
+
+
+class TestFluidResource:
+    def test_single_flow_runs_at_capacity(self):
+        env = Environment()
+        res = FluidResource(env, capacity=100.0)
+        flow = res.submit(work=500.0)
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(5.0)
+
+    def test_flow_cap_limits_rate(self):
+        env = Environment()
+        res = FluidResource(env, capacity=100.0)
+        flow = res.submit(work=500.0, cap=50.0)
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(10.0)
+
+    def test_two_flows_share_fairly(self):
+        env = Environment()
+        res = FluidResource(env, capacity=100.0)
+        a = res.submit(work=100.0)
+        b = res.submit(work=100.0)
+        env.run(until=env.all_of([a.done, b.done]))
+        # Each ran at 50 until both drained together.
+        assert env.now == pytest.approx(2.0)
+
+    def test_remaining_flow_speeds_up_after_completion(self):
+        env = Environment()
+        res = FluidResource(env, capacity=100.0)
+        short = res.submit(work=50.0)    # drains at t=1 (rate 50)
+        long = res.submit(work=150.0)    # 50 by t=1, then rate 100
+        env.run(until=short.done)
+        assert env.now == pytest.approx(1.0)
+        env.run(until=long.done)
+        assert env.now == pytest.approx(2.0)
+
+    def test_late_arrival_slows_existing_flow(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        first = res.submit(work=100.0)   # alone: 10s
+
+        def second():
+            yield env.timeout(5)         # first has done 50 units
+            f = res.submit(work=25.0)    # both now at rate 5; f drains at t=10
+            yield f.done
+            return env.now
+
+        p = env.process(second())
+        env.run(until=first.done)
+        # first: 50 left at t=5, rate 5 until t=10 (25 left) then sole rate 10
+        assert env.now == pytest.approx(12.5)
+        assert p.value == pytest.approx(10.0)
+
+    def test_zero_work_completes_immediately(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        flow = res.submit(work=0.0)
+        assert flow.done.triggered
+
+    def test_persistent_flow_consumes_until_removed(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        bg = res.submit(work=None)       # persistent, takes the full 10
+        real = res.submit(work=50.0)     # shares: rate 5
+
+        def manager():
+            yield env.timeout(4)         # real has done 20
+            res.remove(bg)
+
+        env.process(manager())
+        env.run(until=real.done)
+        # 20 done by t=4 at rate 5, remaining 30 at rate 10 -> t=7
+        assert env.now == pytest.approx(7.0)
+
+    def test_remove_pending_flow_fails_waiter(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        flow = res.submit(work=100.0)
+        caught = {}
+
+        def waiter():
+            try:
+                yield flow.done
+            except SimulationError:
+                caught["t"] = env.now
+
+        def canceller():
+            yield env.timeout(2)
+            leftover = res.remove(flow)
+            caught["left"] = leftover
+
+        env.process(waiter())
+        env.process(canceller())
+        env.run()
+        assert caught["t"] == pytest.approx(2.0)
+        assert caught["left"] == pytest.approx(80.0)
+
+    def test_capacity_adjustment_mid_flow(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        flow = res.submit(work=100.0)
+
+        def shrink():
+            yield env.timeout(5)         # 50 done
+            res.adjust_capacity(5.0)     # remaining 50 at rate 5 -> +10s
+
+        env.process(shrink())
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(15.0)
+
+    def test_flow_cap_adjustment_mid_flow(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        flow = res.submit(work=100.0, cap=10.0)
+
+        def throttle():
+            yield env.timeout(5)
+            res.adjust_cap(flow, 2.0)
+
+        env.process(throttle())
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(30.0)
+
+    def test_utilization_and_busy_time(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        res.submit(work=50.0, cap=5.0)
+        assert res.utilization == pytest.approx(0.5)
+        env.run()
+        assert env.now == pytest.approx(10.0)
+        assert res.busy_time() == pytest.approx(5.0)  # 0.5 util * 10 s
+
+    def test_consume_helper(self):
+        env = Environment()
+        res = FluidResource(env, capacity=4.0)
+        out = {}
+
+        def proc():
+            yield from res.consume(work=8.0)
+            out["t"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert out["t"] == pytest.approx(2.0)
+
+    def test_consume_withdraws_on_interrupt(self):
+        from repro.sim import Interrupt
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        out = {}
+
+        def proc():
+            try:
+                yield from res.consume(work=1000.0)
+            except Interrupt:
+                out["flows_left"] = len(res.flows)
+
+        p = env.process(proc())
+
+        def attacker():
+            yield env.timeout(1)
+            p.interrupt()
+
+        env.process(attacker())
+        env.run()
+        assert out["flows_left"] == 0
+
+    def test_invalid_parameters(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            FluidResource(env, capacity=0)
+        res = FluidResource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.submit(work=-1)
+        with pytest.raises(SimulationError):
+            res.submit(work=1, cap=0)
+
+    def test_many_flows_conserve_work(self):
+        env = Environment()
+        res = FluidResource(env, capacity=7.0)
+        flows = [res.submit(work=10.0 + i, cap=1.0 + (i % 3))
+                 for i in range(20)]
+        env.run(until=env.all_of([f.done for f in flows]))
+        assert all(f.remaining == 0 for f in flows)
+        total_work = sum(10.0 + i for i in range(20))
+        # Busy integral equals total work / capacity.
+        assert res.busy_time() == pytest.approx(total_work / 7.0)

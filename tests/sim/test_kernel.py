@@ -1,0 +1,347 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (AnyOf, Environment, Interrupt, SimulationError)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = {}
+
+    def proc():
+        yield env.timeout(5)
+        done["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert done["t"] == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    out = {}
+
+    def proc():
+        out["v"] = yield env.timeout(1, value="payload")
+
+    env.process(proc())
+    env.run()
+    assert out["v"] == "payload"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(proc("b", 2))
+    env.process(proc("a", 1))
+    env.process(proc("c", 3))
+    env.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    log = []
+
+    def proc(name):
+        yield env.timeout(1)
+        log.append(name)
+
+    for name in "abc":
+        env.process(proc(name))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2)
+        return 42
+
+    def parent(store):
+        store["v"] = yield env.process(child())
+
+    store = {}
+    env.process(parent(store))
+    env.run()
+    assert store["v"] == 42
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return "done"
+
+    proc = env.process(child())
+    assert env.run(until=proc) == "done"
+    assert env.now == 3.0
+
+
+def test_run_until_deadline_stops_clock_there():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(100)
+
+    env.process(proc())
+    env.run(until=10)
+    assert env.now == 10.0
+
+
+def test_run_until_past_deadline_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    out = {}
+
+    def waiter():
+        out["v"] = yield ev
+
+    def firer():
+        yield env.timeout(4)
+        ev.succeed("ping")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert out["v"] == "ping"
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = {}
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught["exc"] = exc
+
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert isinstance(caught["exc"], ValueError)
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_process_exception_propagates_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("kaput")
+
+    proc = env.process(bad())
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run(until=proc)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    out = {}
+
+    def proc():
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(5, value="y")
+        results = yield env.all_of([t1, t2])
+        out["values"] = sorted(results.values())
+        out["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert out["t"] == 5.0
+    assert out["values"] == ["x", "y"]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    out = {}
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(9, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        out["t"] = env.now
+        out["values"] = list(results.values())
+
+    env.process(proc())
+    env.run()
+    assert out["t"] == 1.0
+    assert "fast" in out["values"]
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    out = {}
+
+    def proc():
+        yield env.all_of([])
+        out["t"] = env.now
+
+    env.process(proc())
+    env.run()
+    assert out["t"] == 0.0
+
+
+def test_interrupt_reaches_waiting_process():
+    env = Environment()
+    out = {}
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            out["cause"] = i.cause
+            out["t"] = env.now
+
+    def attacker(v):
+        yield env.timeout(3)
+        v.interrupt("evict")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert out == {"cause": "evict", "t": 3.0}
+
+
+def test_interrupt_then_original_event_is_stale():
+    """After an interrupt, the original timeout firing must not resume the
+    process a second time."""
+    env = Environment()
+    resumed = []
+
+    def victim():
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            pass
+        resumed.append(env.now)
+        yield env.timeout(50)
+        resumed.append(env.now)
+
+    def attacker(v):
+        yield env.timeout(2)
+        v.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert resumed == [2.0, 52.0]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_waiting_on_already_processed_event_resumes_immediately():
+    env = Environment()
+    out = {}
+
+    def early():
+        yield env.timeout(1)
+        return "val"
+
+    child = env.process(early())
+
+    def late():
+        yield env.timeout(5)
+        out["v"] = yield child  # child finished long ago
+        out["t"] = env.now
+
+    env.process(late())
+    env.run()
+    assert out == {"v": "val", "t": 5.0}
+
+
+def test_schedule_callback():
+    env = Environment()
+    hits = []
+    env.schedule_callback(2.5, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [2.5]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7)
+    assert env.peek() == 7.0
+
+
+def test_determinism_same_model_same_trace():
+    def build():
+        env = Environment()
+        log = []
+
+        def proc(name, d):
+            yield env.timeout(d)
+            log.append((env.now, name))
+            yield env.timeout(d)
+            log.append((env.now, name))
+
+        for i in range(5):
+            env.process(proc(f"p{i}", 1 + i * 0.5))
+        env.run()
+        return log
+
+    assert build() == build()

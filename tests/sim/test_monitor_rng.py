@@ -1,0 +1,106 @@
+"""Unit tests for the monitor and RNG registry."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, FluidResource, Monitor, RngRegistry
+from repro.sim.monitor import TimeSeries
+
+
+class TestTimeSeries:
+    def test_empty_series_summaries(self):
+        ts = TimeSeries("x")
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+
+    def test_mean_window(self):
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.append(float(t), float(t))
+        assert ts.mean() == pytest.approx(4.5)
+        assert ts.mean(t_start=5) == pytest.approx(7.0)
+        assert ts.mean(t_start=2, t_end=4) == pytest.approx(3.0)
+        assert ts.mean(t_start=100) == 0.0
+
+    def test_percentile_and_max(self):
+        ts = TimeSeries("x")
+        for t, v in enumerate([1, 9, 5, 3]):
+            ts.append(float(t), float(v))
+        assert ts.max() == 9.0
+        assert ts.percentile(50) == pytest.approx(4.0)
+
+
+class TestMonitor:
+    def test_samples_at_interval(self):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        res.submit(work=50.0, cap=5.0)  # 0.5 util for 10 s
+        mon = Monitor(env, interval=1.0)
+        mon.add_probe("util", lambda: res.utilization)
+        mon.start()
+
+        def stopper():
+            yield env.timeout(10)
+            mon.stop()
+
+        env.process(stopper())
+        env.run()
+        ts = mon.series["util"]
+        # The stopper (scheduled first) wins the t=10 tie: samples at t=0..9.
+        assert len(ts) == 10
+        assert ts.mean() == pytest.approx(0.5)
+
+    def test_duplicate_probe_rejected(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.add_probe("a", lambda: 0.0)
+        with pytest.raises(ValueError):
+            mon.add_probe("a", lambda: 1.0)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            Monitor(Environment(), interval=0)
+
+    def test_double_start_rejected(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.start()
+        with pytest.raises(RuntimeError):
+            mon.start()
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(7)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_deterministic_across_registries(self):
+        a = RngRegistry(7).stream("x").random(5)
+        b = RngRegistry(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(7)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(5)
+        b = RngRegistry(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_component_isolation(self):
+        """Drawing from one stream must not perturb another."""
+        reg1 = RngRegistry(3)
+        reg1.stream("noise").random(100)
+        a = reg1.stream("x").random(5)
+        reg2 = RngRegistry(3)
+        b = reg2.stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_fork_changes_streams(self):
+        reg = RngRegistry(3)
+        a = reg.stream("x").random(5)
+        b = reg.fork(1).stream("x").random(5)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,112 @@
+"""Property-based tests of the fluid-resource invariants.
+
+These are the physics of the reproduction: work conservation, capacity
+limits, and max-min fairness must hold for arbitrary flow populations.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FluidResource, FlowNetwork
+from repro.sim.fluid import maxmin_allocate
+from repro.sim.flownet import progressive_fill
+
+
+class TestMaxminProperties:
+    @given(st.floats(min_value=0.1, max_value=1e6),
+           st.lists(st.one_of(st.floats(min_value=0.01, max_value=1e6),
+                              st.just(math.inf)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_feasibility_and_caps(self, capacity, caps):
+        rates = maxmin_allocate(capacity, caps)
+        assert sum(rates) <= capacity * (1 + 1e-9)
+        for r, c in zip(rates, caps):
+            assert r <= c * (1 + 1e-9)
+            assert r >= 0
+
+    @given(st.floats(min_value=1.0, max_value=1e4),
+           st.lists(st.floats(min_value=0.01, max_value=1e5),
+                    min_size=2, max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_work_conserving_or_all_capped(self, capacity, caps):
+        rates = maxmin_allocate(capacity, caps)
+        used = sum(rates)
+        all_capped = all(abs(r - c) < 1e-9 for r, c in zip(rates, caps))
+        assert used == pytest.approx(capacity, rel=1e-6) or all_capped
+
+    @given(st.floats(min_value=1.0, max_value=1e4),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_uncapped_flows_get_equal_shares(self, capacity, n):
+        rates = maxmin_allocate(capacity, [math.inf] * n)
+        assert all(r == pytest.approx(capacity / n) for r in rates)
+
+
+class TestFluidResourceProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=1.0, max_value=1e4),
+                              st.floats(min_value=0.1, max_value=100.0)),
+                    min_size=1, max_size=12),
+           st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_all_work_completes_and_is_conserved(self, jobs, capacity):
+        env = Environment()
+        res = FluidResource(env, capacity)
+        flows = [res.submit(work=w, cap=c) for w, c in jobs]
+        env.run(until=env.all_of([f.done for f in flows]))
+        assert all(f.remaining == 0 for f in flows)
+        total = sum(w for w, _ in jobs)
+        assert res.busy_time() == pytest.approx(total / capacity, rel=1e-6)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e3),
+                    min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_at_least_work_over_capacity(self, works):
+        env = Environment()
+        res = FluidResource(env, capacity=10.0)
+        flows = [res.submit(work=w) for w in works]
+        env.run(until=env.all_of([f.done for f in flows]))
+        assert env.now >= sum(works) / 10.0 * (1 - 1e-9)
+
+
+class TestFlowNetworkProperties:
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4),
+                              st.floats(min_value=1.0, max_value=1e4)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_no_link_over_capacity_ever(self, transfers):
+        env = Environment()
+        net = FlowNetwork(env)
+        links = {}
+        for i in range(5):
+            links[f"tx{i}"] = net.add_link(f"tx{i}", 50.0)
+            links[f"rx{i}"] = net.add_link(f"rx{i}", 50.0)
+        flows = []
+        for src, dst, size in transfers:
+            if src == dst:
+                dst = (dst + 1) % 5
+            flows.append(net.transfer([links[f"tx{src}"],
+                                       links[f"rx{dst}"]], size))
+        for link in net.links:
+            assert link.used_rate <= link.capacity * (1 + 1e-6)
+        env.run(until=env.all_of([f.done for f in flows]))
+        assert all(f.remaining == 0 for f in flows)
+        # Conservation: bytes through tx links == bytes submitted.
+        sent = sum(net.busy_time(links[f"tx{i}"]) * 50.0 for i in range(5))
+        total = sum(min(s, 1e18) for *_x, s in
+                    [(t[0], t[1], t[2]) for t in transfers])
+        assert sent == pytest.approx(total, rel=1e-6)
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_progressive_fill_symmetric_incast(self, n):
+        env = Environment()
+        net = FlowNetwork(env)
+        rx = net.add_link("rx", 100.0)
+        txs = [net.add_link(f"tx{i}", 100.0) for i in range(n)]
+        flows = [net.transfer([t, rx], 1e6) for t in txs]
+        for f in flows:
+            assert f.rate == pytest.approx(100.0 / n)

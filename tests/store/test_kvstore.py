@@ -1,0 +1,167 @@
+"""Tests for the pure KV store, auth policy, and rate tracker."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import AuthError, AuthPolicy, KeyMissing, KVStore, StoreFull
+from repro.store.protocol import RateTracker
+
+
+class TestKVStore:
+    def test_put_get_size_only(self):
+        kv = KVStore(capacity=1000)
+        kv.put("a", nbytes=100)
+        assert kv.get("a") == (100, None)
+        assert kv.size_of("a") == 100
+
+    def test_put_get_payload(self):
+        kv = KVStore(capacity=1000)
+        kv.put("a", payload=b"hello")
+        nbytes, payload = kv.get("a")
+        assert nbytes == 5
+        assert payload == b"hello"
+
+    def test_payload_size_mismatch_rejected(self):
+        kv = KVStore(capacity=1000)
+        with pytest.raises(ValueError):
+            kv.put("a", nbytes=3, payload=b"hello")
+
+    def test_put_requires_size_or_payload(self):
+        kv = KVStore(capacity=1000)
+        with pytest.raises(ValueError):
+            kv.put("a")
+
+    def test_capacity_includes_key_overhead(self):
+        kv = KVStore(capacity=1000, key_overhead=100)
+        kv.put("a", nbytes=900)
+        assert kv.used_bytes == 1000
+        with pytest.raises(StoreFull):
+            kv.put("b", nbytes=1)
+
+    def test_overwrite_releases_old_footprint(self):
+        kv = KVStore(capacity=1000, key_overhead=0)
+        kv.put("a", nbytes=800)
+        kv.put("a", nbytes=900)  # would not fit without release
+        assert kv.used_bytes == 900
+
+    def test_get_missing_raises(self):
+        kv = KVStore(capacity=10)
+        with pytest.raises(KeyMissing):
+            kv.get("nope")
+        with pytest.raises(KeyMissing):
+            kv.size_of("nope")
+
+    def test_delete_releases(self):
+        kv = KVStore(capacity=1000, key_overhead=10)
+        kv.put("a", nbytes=100)
+        assert kv.delete("a") == 100
+        assert kv.used_bytes == 0
+        with pytest.raises(KeyMissing):
+            kv.delete("a")
+
+    def test_flush(self):
+        kv = KVStore(capacity=1000, key_overhead=0)
+        kv.put("a", nbytes=100)
+        kv.put("b", nbytes=200)
+        assert kv.flush() == 300
+        assert len(kv) == 0
+        assert kv.used_bytes == 0
+
+    def test_contains_and_keys(self):
+        kv = KVStore(capacity=1000)
+        kv.put("a", nbytes=1)
+        assert "a" in kv
+        assert "b" not in kv
+        assert list(kv.keys()) == ["a"]
+
+    def test_counters(self):
+        kv = KVStore(capacity=1000, key_overhead=0)
+        kv.put("a", nbytes=100)
+        kv.get("a")
+        kv.get("a")
+        kv.delete("a")
+        info = kv.info()
+        assert info["puts"] == 1
+        assert info["gets"] == 2
+        assert info["deletes"] == 1
+        assert info["bytes_in"] == 100
+        assert info["bytes_out"] == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVStore(capacity=0)
+        with pytest.raises(ValueError):
+            KVStore(capacity=10, key_overhead=-1)
+        kv = KVStore(capacity=10)
+        with pytest.raises(ValueError):
+            kv.put("a", nbytes=-5)
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=6),
+                              st.integers(0, 100)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_accounting_invariant(self, ops):
+        """used_bytes always equals the sum of live entries' costs."""
+        kv = KVStore(capacity=1e9, key_overhead=7)
+        live = {}
+        for key, size in ops:
+            kv.put(key, nbytes=size)
+            live[key] = size
+        expected = sum(v + 7 for v in live.values())
+        assert kv.used_bytes == expected
+        for key in list(live):
+            kv.delete(key)
+        assert kv.used_bytes == 0
+
+
+class TestAuthPolicy:
+    def test_password_checked(self):
+        auth = AuthPolicy("secret")
+        auth.check("secret", "node0")
+        with pytest.raises(AuthError):
+            auth.check("wrong", "node0")
+
+    def test_allow_list(self):
+        auth = AuthPolicy("s", allowed_nodes=["own0", "own1"])
+        auth.check("s", "own0")
+        with pytest.raises(AuthError):
+            auth.check("s", "victim0")
+
+    def test_allow_node_added_later(self):
+        auth = AuthPolicy("s", allowed_nodes=["a"])
+        auth.allow_node("b")
+        auth.check("s", "b")
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(ValueError):
+            AuthPolicy("")
+
+
+class TestRateTracker:
+    def test_rate_rises_with_events(self):
+        rt = RateTracker(tau=1.0)
+        for i in range(10):
+            rt.record(now=0.0)
+        assert rt.rate(0.0) == pytest.approx(10.0)
+
+    def test_rate_decays(self):
+        rt = RateTracker(tau=1.0)
+        rt.record(now=0.0, count=10)
+        assert rt.rate(1.0) == pytest.approx(10.0 * math.exp(-1), rel=1e-6)
+        assert rt.rate(10.0) < 0.01
+
+    def test_steady_state_matches_arrival_rate(self):
+        rt = RateTracker(tau=2.0)
+        # 100 events/s for 20 s: rate should converge to ~100.
+        t = 0.0
+        for _ in range(2000):
+            t += 0.01
+            rt.record(now=t)
+        assert rt.rate(t) == pytest.approx(100.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateTracker(tau=0)

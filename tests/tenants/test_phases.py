@@ -1,0 +1,239 @@
+"""Tests for tenant phases and the SPMD runner."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.sim import Environment
+from repro.store import StoreServer
+from repro.tenants import (AllocPhase, ComputePhase, DiskPhase, FreePhase,
+                           InterferenceProbe, LatencyPhase,
+                           MemBandwidthPhase, NetworkPhase, PhasedWorkload,
+                           SleepPhase, run_tenant)
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def rig():
+    cluster = build_das5(n_nodes=4)
+    probe = InterferenceProbe()
+    return cluster, cluster.env, list(cluster.nodes), probe
+
+
+def run_wl(cluster, wl, nodes, probe):
+    env = cluster.env
+    proc = env.process(run_tenant(env, wl, nodes, cluster.fabric, probe))
+    return env.run(until=proc)
+
+
+class TestPhases:
+    def test_compute_phase_duration(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("c", [ComputePhase(core_seconds=320, cores=32)])
+        run = run_wl(cluster, wl, nodes[:2], probe)
+        assert run.runtime == pytest.approx(10.0)
+
+    def test_membw_phase_duration(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("m", [MemBandwidthPhase(nbytes=480 * GB)])
+        run = run_wl(cluster, wl, nodes[:1], probe)
+        assert run.runtime == pytest.approx(10.0)  # 48 GB/s bus
+
+    def test_network_alltoall(self, rig):
+        cluster, env, nodes, probe = rig
+        # 4 nodes, 6 GB to each of 3 peers: tx = 18 GB over 6 GB/s = 3 s.
+        wl = PhasedWorkload("n", [NetworkPhase(nbytes_per_peer=6 * GB)])
+        run = run_wl(cluster, wl, nodes, probe)
+        assert run.runtime == pytest.approx(3.0, rel=0.05)
+
+    def test_network_ring(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("r", [NetworkPhase(nbytes_per_peer=6 * GB,
+                                               pattern="ring")])
+        run = run_wl(cluster, wl, nodes, probe)
+        assert run.runtime == pytest.approx(1.0, rel=0.05)
+
+    def test_network_bad_pattern(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("b", [NetworkPhase(nbytes_per_peer=1,
+                                               pattern="mesh")])
+        with pytest.raises(ValueError):
+            run_wl(cluster, wl, nodes, probe)
+
+    def test_latency_phase_baseline(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("l", [LatencyPhase(n_messages=1_000_000,
+                                               base_rtt=4e-6)])
+        run = run_wl(cluster, wl, nodes[:2], probe)
+        assert run.runtime == pytest.approx(4.0, rel=0.01)
+
+    def test_disk_read_all_cached(self, rig):
+        cluster, env, nodes, probe = rig
+        # Dataset fits the page cache -> reads at bus speed.
+        wl = PhasedWorkload("d", [DiskPhase(nbytes=48 * GB,
+                                            dataset_bytes=10 * GB)])
+        run = run_wl(cluster, wl, nodes[:1], probe)
+        assert run.runtime == pytest.approx(1.0, rel=0.05)
+
+    def test_disk_read_uncached_hits_disk(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        node.allocate_memory("hog", 59 * GB)  # 1 GB of cache left
+        wl = PhasedWorkload("d", [DiskPhase(nbytes=1.5 * GB,
+                                            dataset_bytes=100 * GB)])
+        run = run_wl(cluster, wl, [node], probe)
+        # ~99% of reads miss -> ~1.49 GB at 150 MB/s ≈ 10 s.
+        assert run.runtime > 8.0
+
+    def test_disk_write_mostly_synchronous_when_cache_small(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        node.allocate_memory("hog", 59 * GB)  # ~1 GB of cache left
+        # Dataset far exceeds the cache: ~99% of the write is synchronous
+        # disk traffic (1.485 GB at 150 MB/s ~ 10 s).
+        wl = PhasedWorkload("w", [DiskPhase(nbytes=1.5 * GB,
+                                            dataset_bytes=100 * GB,
+                                            write=True)])
+        run = run_wl(cluster, wl, [node], probe)
+        assert run.runtime == pytest.approx(10.1, rel=0.05)
+
+    def test_disk_write_buffered_when_cache_large(self, rig):
+        cluster, env, nodes, probe = rig
+        # Dataset fits the cache: write-behind absorbs it at bus speed.
+        wl = PhasedWorkload("w", [DiskPhase(nbytes=1.5 * GB,
+                                            dataset_bytes=1 * GB,
+                                            write=True)])
+        run = run_wl(cluster, wl, nodes[:1], probe)
+        assert run.runtime < 0.5
+
+    def test_alloc_free_cycle(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        wl = PhasedWorkload("a", [AllocPhase(10 * GB), SleepPhase(1.0),
+                                  FreePhase()])
+        run_wl(cluster, wl, [node], probe)
+        assert node.memory_free == 60 * GB  # everything released
+
+    def test_run_tenant_releases_leftover_memory(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        wl = PhasedWorkload("leak", [AllocPhase(10 * GB)])  # no FreePhase
+        run_wl(cluster, wl, [node], probe)
+        assert node.memory_free == 60 * GB
+
+    def test_barrier_between_phases(self, rig):
+        cluster, env, nodes, probe = rig
+        # Node 0 has a CPU hog -> its compute phase is slower; the barrier
+        # makes the whole phase as slow as the slowest node.
+        hog = nodes[0].cpu.submit(None, cap=31.0, label="hog")
+        wl = PhasedWorkload("b", [ComputePhase(core_seconds=32.0, cores=32)])
+        run = run_wl(cluster, wl, nodes[:2], probe)
+        nodes[0].cpu.remove(hog)
+        # Unhindered node: 1 s.  Hogged node: max-min halves its share ->
+        # 2 s; the barrier stretches the phase to the slowest node.
+        assert run.runtime == pytest.approx(2.0, rel=0.05)
+
+    def test_empty_node_list_rejected(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("x", [SleepPhase(1)])
+
+        def go():
+            yield from run_tenant(env, wl, [], cluster.fabric, probe)
+
+        with pytest.raises(ValueError):
+            proc = env.process(go())
+            env.run(until=proc)
+
+    def test_phase_times_recorded(self, rig):
+        cluster, env, nodes, probe = rig
+        wl = PhasedWorkload("t", [SleepPhase(2.0, name="s1"),
+                                  SleepPhase(3.0, name="s2")])
+        run = run_wl(cluster, wl, nodes[:1], probe)
+        assert run.phase_times["0:s1"] == pytest.approx(2.0)
+        assert run.phase_times["1:s2"] == pytest.approx(3.0)
+
+
+class TestInterferenceProbe:
+    def _net_probe(self, cluster):
+        return InterferenceProbe(net=cluster.fabric.net, copy_factor=2.0)
+
+    def test_membw_share_sees_store_net_flows(self, rig):
+        cluster, env, nodes, probe = rig
+        probe = self._net_probe(cluster)
+        # A store ingest of 2.4 GB/s -> 4.8 GB/s bus traffic of 48 = 10%.
+        cluster.fabric.transfer(nodes[1], nodes[0], None, cap=2.4 * GB,
+                                label="store:x.net")
+        assert probe.membw_share(nodes[0]) == pytest.approx(0.1)
+
+    def test_tenant_flows_ignored(self, rig):
+        cluster, env, nodes, probe = rig
+        probe = self._net_probe(cluster)
+        cluster.fabric.transfer(nodes[1], nodes[0], None, cap=2.4 * GB,
+                                label="tenant:shuffle")
+        assert probe.membw_share(nodes[0]) == 0.0
+
+    def test_store_net_bytes_integrates(self, rig):
+        cluster, env, nodes, probe = rig
+        probe = self._net_probe(cluster)
+        flow = cluster.fabric.transfer(nodes[1], nodes[0], 6 * GB,
+                                       label="store:x.net")
+        env.run(until=flow.done)
+        assert probe.store_net_bytes(nodes[0]) == pytest.approx(6 * GB)
+        assert probe.store_net_bytes(nodes[2]) == 0.0
+
+    def test_request_rate_from_servers(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        server = StoreServer(env, node, cluster.fabric, capacity=1 * GB)
+        probe2 = InterferenceProbe.from_servers({node.name: server})
+        server.request_rate.record(env.now, count=100)
+        assert probe2.request_rate(node, env.now) > 0
+        assert probe.request_rate(node, env.now) == 0
+
+    def test_resident_bytes(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        server = StoreServer(env, node, cluster.fabric, capacity=1 * GB)
+        probe2 = InterferenceProbe.from_servers({node.name: server})
+        server.kv.put("k", nbytes=100 * MB)
+        server._sync_memory()
+        assert probe2.resident_bytes(node) == pytest.approx(
+            100 * MB + server.costs.key_overhead)
+
+
+class TestInterferenceEffects:
+    def test_membw_phase_slows_under_store_traffic(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        probe = InterferenceProbe(net=cluster.fabric.net, copy_factor=2.0)
+        wl = PhasedWorkload("m", [MemBandwidthPhase(nbytes=48 * GB)])
+        baseline = run_wl(cluster, wl, [node], probe).runtime
+        # Persistent store ingest: 1.2 GB/s -> 5% of the bus after copies.
+        cluster.fabric.transfer(nodes[1], node, None, cap=1.2 * GB,
+                                label="store:x.net")
+        loaded = run_wl(cluster, wl, [node], probe).runtime
+        assert loaded > baseline * 1.2  # share + pollution
+
+    def test_latency_phase_inflates_with_request_rate(self, rig):
+        cluster, env, nodes, probe = rig
+        node = nodes[0]
+        server = StoreServer(env, node, cluster.fabric, capacity=1 * GB)
+        probe2 = InterferenceProbe.from_servers({node.name: server})
+        wl = PhasedWorkload("l", [LatencyPhase(n_messages=100_000)])
+        base = run_wl(cluster, wl, [node], probe2).runtime
+
+        # Sustain a store request arrival rate; let the tracker converge
+        # (tau = 2 s) before the loaded run starts.
+        t_load = env.now + 10.0
+
+        def chatter():
+            # 10k requests/s: ~0.3 cores of request handling.
+            while env.now < t_load + 60:
+                server.request_rate.record(env.now, count=100)
+                yield env.timeout(0.01)
+
+        env.process(chatter())
+        env.run(until=t_load)
+        proc = env.process(run_tenant(env, wl, [node], cluster.fabric,
+                                      probe2))
+        run = env.run(until=proc)
+        assert run.runtime > base * 1.2

@@ -1,0 +1,160 @@
+"""Tests for the HPCC / HiBench suite definitions."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.tenants import (GC_SENSITIVITY, HIBENCH_HADOOP, HIBENCH_SPARK,
+                           HPCC_BENCHMARKS, GcComputePhase,
+                           InterferenceProbe, MapReduceSpec, SparkJobSpec,
+                           hibench_hadoop, hibench_hadoop_suite,
+                           hibench_spark, hibench_spark_suite,
+                           hpcc_benchmark, hpcc_suite, mapreduce_job,
+                           run_tenant, spark_job)
+from repro.tenants.base import (ComputePhase, DiskPhase,
+                                FrameworkComputePhase, LatencyPhase,
+                                MemBandwidthPhase, NetworkPhase)
+from repro.units import GB
+
+
+class TestHpccSuite:
+    def test_eight_categories_in_order(self):
+        names = [wl.name for wl in hpcc_suite()]
+        assert names == list(HPCC_BENCHMARKS)
+        assert names[0] == "HPL"
+        assert "STREAM" in names
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            hpcc_benchmark("LINPACKZ")
+        with pytest.raises(ValueError):
+            hpcc_benchmark("HPL", scale=0)
+
+    def test_stream_is_membw_dominated(self):
+        wl = hpcc_benchmark("STREAM")
+        kinds = [type(p) for p in wl.phases]
+        assert MemBandwidthPhase in kinds
+        assert ComputePhase not in kinds
+
+    def test_latency_is_latency_phase(self):
+        wl = hpcc_benchmark("latency")
+        assert isinstance(wl.phases[0], LatencyPhase)
+
+    def test_dgemm_is_pure_compute(self):
+        wl = hpcc_benchmark("DGEMM")
+        assert any(isinstance(p, ComputePhase) for p in wl.phases)
+        assert not any(isinstance(p, (NetworkPhase, MemBandwidthPhase))
+                       for p in wl.phases)
+
+    def test_hpcc_uses_native_verbs(self):
+        for name in HPCC_BENCHMARKS:
+            for p in hpcc_benchmark(name).phases:
+                if isinstance(p, NetworkPhase):
+                    assert p.transport == "verbs", name
+
+    def test_scale_shrinks_runtime(self):
+        cluster = build_das5(n_nodes=4)
+        probe = InterferenceProbe()
+
+        def runtime(scale):
+            wl = hpcc_benchmark("STREAM", scale=scale)
+            proc = cluster.env.process(run_tenant(
+                cluster.env, wl, list(cluster.nodes), cluster.fabric,
+                probe))
+            return cluster.env.run(until=proc).runtime
+
+        assert runtime(0.5) < runtime(1.0)
+
+
+class TestHibenchHadoop:
+    def test_six_benchmarks(self):
+        assert set(HIBENCH_HADOOP) == {"KMeans", "PageRank", "WordCount",
+                                       "TeraSort", "DFSIO-read",
+                                       "DFSIO-write"}
+        assert len(hibench_hadoop_suite()) == 6
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            hibench_hadoop("SortZ")
+
+    def test_terasort_characterization(self):
+        """Paper: CPU-intensive map, large memory, large shuffle."""
+        wl = hibench_hadoop("TeraSort")
+        kinds = [type(p) for p in wl.phases]
+        assert FrameworkComputePhase in kinds
+        assert NetworkPhase in kinds
+        shuffles = [p for p in wl.phases if isinstance(p, NetworkPhase)]
+        assert all(p.transport == "tcp" for p in shuffles)
+        fw = [p for p in wl.phases if isinstance(p, FrameworkComputePhase)]
+        assert all(p.memory_intensity >= 1.0 for p in fw)
+
+    def test_dfsio_read_is_disk_dominated(self):
+        wl = hibench_hadoop("DFSIO-read")
+        disk = [p for p in wl.phases if isinstance(p, DiskPhase)]
+        assert len(disk) == 1
+        assert disk[0].dataset_bytes > 60 * GB  # exceeds any page cache
+
+    def test_iterative_jobs_have_multiple_rounds(self):
+        wl = hibench_hadoop("KMeans")
+        reads = [p for p in wl.phases if isinstance(p, DiskPhase)]
+        assert len(reads) >= 3
+
+    def test_mapreduce_job_validation(self):
+        spec = MapReduceSpec(name="x", input_bytes=1, dataset_bytes=1,
+                             map_core_seconds=1)
+        with pytest.raises(ValueError):
+            mapreduce_job(spec, n_nodes=0)
+
+
+class TestHibenchSpark:
+    def test_five_benchmarks_no_dfsio(self):
+        assert "DFSIO-read" not in HIBENCH_SPARK
+        assert "DFSIO-write" not in HIBENCH_SPARK
+        assert len(hibench_spark_suite()) == 5
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            hibench_spark("DFSIO-read")
+
+    def test_executors_take_48gb(self):
+        wl = hibench_spark("TeraSort")
+        alloc = wl.phases[0]
+        assert alloc.nbytes == 48 * GB
+
+    def test_gc_phase_present(self):
+        wl = hibench_spark("KMeans")
+        assert any(isinstance(p, GcComputePhase) for p in wl.phases)
+
+    def test_spark_job_validation(self):
+        spec = SparkJobSpec(name="x", input_bytes=1, dataset_bytes=1,
+                            compute_core_seconds=1)
+        with pytest.raises(ValueError):
+            spark_job(spec, n_nodes=0)
+
+
+class TestGcComputePhase:
+    def test_inflates_under_displacement(self):
+        from repro.store import StoreServer
+        from repro.tenants import PhasedWorkload
+        cluster = build_das5(n_nodes=2)
+        env = cluster.env
+        node = cluster.nodes[0]
+        server = StoreServer(env, node, cluster.fabric, capacity=20 * GB)
+        probe = InterferenceProbe.from_servers({node.name: server})
+
+        def run_once():
+            wl = PhasedWorkload("gc", [GcComputePhase(core_seconds=320,
+                                                      cores=32)])
+            proc = env.process(run_tenant(env, wl, [node], cluster.fabric,
+                                          probe))
+            return env.run(until=proc).runtime
+
+        base = run_once()
+        # Occupy the node: tenant 40 GB + store 10 GB resident.
+        node.allocate_memory("tenant-other", 40 * GB)
+        server.kv.put("blob", nbytes=10 * GB)
+        server._sync_memory()
+        loaded = run_once()
+        node.free_memory("tenant-other")
+        # pressure = 10/(10+10) = 0.5 -> +GC_SENSITIVITY/2.
+        assert loaded == pytest.approx(base * (1 + GC_SENSITIVITY * 0.5),
+                                       rel=0.05)

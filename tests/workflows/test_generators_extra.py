@@ -1,0 +1,76 @@
+"""Additional generator tests: scaling knobs and calibration properties."""
+
+import pytest
+
+from repro.units import GB
+from repro.workflows import (MONTAGE_PAPER_WIDTH, blast, montage,
+                             stage_statistics)
+
+
+class TestMontageScaling:
+    def test_parallel_task_scale_preserves_parallel_work(self):
+        full = montage(width=64)
+        scaled = montage(width=16, parallel_task_scale=4.0)
+
+        def parallel_work(wf):
+            return sum(t.compute_seconds for t in wf.tasks.values()
+                       if t.stage in ("mProjectPP", "mDiffFit",
+                                      "mBackground"))
+
+        assert parallel_work(scaled) == pytest.approx(parallel_work(full))
+
+    def test_parallel_task_scale_leaves_tail_alone(self):
+        a = montage(width=16, parallel_task_scale=4.0)
+        b = montage(width=16)
+        assert a.tasks["mBgModel"].compute_seconds == \
+            b.tasks["mBgModel"].compute_seconds
+
+    def test_compute_scale_shrinks_everything(self):
+        a = montage(width=8, compute_scale=0.1)
+        b = montage(width=8)
+        assert a.tasks["mBgModel"].compute_seconds == pytest.approx(
+            b.tasks["mBgModel"].compute_seconds * 0.1)
+        assert a.tasks["mProject-00000"].compute_seconds == pytest.approx(
+            b.tasks["mProject-00000"].compute_seconds * 0.1)
+
+    def test_data_scales_with_width(self):
+        small = montage(width=32)
+        big = montage(width=64)
+        assert big.total_output_bytes > small.total_output_bytes * 1.8
+
+    def test_sequential_tail_calibration(self):
+        """The Table II fit: the tail is ~3950 core-seconds."""
+        wf = montage(width=4)
+        tail = sum(t.compute_seconds for t in wf.tasks.values()
+                   if t.stage in ("mConcatFit", "mBgModel", "mImgtbl",
+                                  "mShrink", "mJPEG"))
+        tail += wf.tasks["mAdd-0"].compute_seconds  # runs n_adds-wide
+        assert tail == pytest.approx(3950.0, rel=0.01)
+
+    def test_parallel_work_calibration(self):
+        """Parallel stages total ~110 core-seconds per width unit."""
+        wf = montage(width=128)
+        par = sum(t.compute_seconds for t in wf.tasks.values()
+                  if t.stage in ("mProjectPP", "mDiffFit", "mBackground"))
+        assert par / 128 == pytest.approx(110.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            montage(width=8, parallel_task_scale=0)
+
+
+class TestBlastKnobs:
+    def test_split_seconds_configurable(self):
+        wf = blast(n_searches=4, split_seconds=5.0)
+        assert wf.tasks["split"].compute_seconds == 5.0
+
+    def test_request_granularity_scales_requests(self):
+        coarse = blast(n_searches=4, request_granularity=1 * GB)
+        fine = blast(n_searches=4, request_granularity=1024)
+        assert fine.tasks["search-0000"].inputs[0].n_files > \
+            coarse.tasks["search-0000"].inputs[0].n_files
+
+    def test_searches_stream_their_io(self):
+        wf = blast(n_searches=2)
+        assert wf.tasks["search-0000"].io_slices > 1
+        assert wf.tasks["split"].io_slices == 1
