@@ -1,10 +1,12 @@
 """MemFSS: the scavenging in-memory distributed file system (paper §III)."""
 
 from .striping import (DEFAULT_STRIPE_SIZE, StripeSpan, join_payload,
-                       split_payload, stripe_count, stripe_key, stripe_spans)
+                       split_payload, stripe_count, stripe_digest_array,
+                       stripe_key, stripe_spans)
 from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
                        normalize_path, parent_dir)
-from .placement import ClassSpec, PlacementPolicy
+from .placement import (ClassSpec, PlacementPolicy, PlannerStats, StripePlan,
+                        clear_placement_caches, planner_stats)
 from .erasure import (group_layout, parity_key, storage_overhead, xor_parity)
 from .memfss import (FileExists, FileNotFound, FsError, MemFSS, NotADir)
 from .memfs import build_memfs
@@ -13,10 +15,11 @@ from .scavenger import ScavengingManager
 
 __all__ = [
     "DEFAULT_STRIPE_SIZE", "StripeSpan", "stripe_count", "stripe_spans",
-    "stripe_key", "split_payload", "join_payload",
+    "stripe_key", "stripe_digest_array", "split_payload", "join_payload",
     "FileMeta", "PathError", "normalize_path", "parent_dir",
     "file_meta_key", "dir_key",
-    "ClassSpec", "PlacementPolicy",
+    "ClassSpec", "PlacementPolicy", "StripePlan", "PlannerStats",
+    "planner_stats", "clear_placement_caches",
     "group_layout", "parity_key", "xor_parity", "storage_overhead",
     "MemFSS", "FsError", "FileNotFound", "FileExists", "NotADir",
     "build_memfs",

@@ -28,8 +28,10 @@ def build_memfs(env: Environment, fabric: Fabric, nodes: list[Node],
                 replication: int = 1,
                 write_window: int = 4) -> MemFSS:
     """A uniform MemFS: one class, all nodes compute *and* store."""
-    policy = PlacementPolicy(
-        {"all": ClassSpec(weight=0.0, nodes=tuple(n.name for n in nodes))})
+    # Interned: repeated deployments over the same node set (the ablation
+    # sweeps re-build MemFS per data point) share one policy and its plans.
+    policy = PlacementPolicy.intern(PlacementPolicy(
+        {"all": ClassSpec(weight=0.0, nodes=tuple(n.name for n in nodes))}))
     return MemFSS(env, fabric, own_nodes=nodes, servers=servers,
                   policy=policy, password=password, stripe_size=stripe_size,
                   replication=replication, write_window=write_window)

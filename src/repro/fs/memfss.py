@@ -34,7 +34,7 @@ from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
                        normalize_path, parent_dir)
 from .placement import PlacementPolicy
 from .striping import (DEFAULT_STRIPE_SIZE, split_payload, stripe_count,
-                       stripe_key, stripe_spans)
+                       stripe_spans)
 
 __all__ = ["MemFSS", "FsError", "FileNotFound", "FileExists", "NotADir"]
 
@@ -89,7 +89,10 @@ class MemFSS:
         self.fabric = fabric
         self.own_nodes = list(own_nodes)
         self.servers = dict(servers)
-        self.policy = policy
+        # Interned: reads reconstruct the recorded policy via from_meta,
+        # which then hits this exact instance (and its cached plans) for
+        # files written under the current policy.
+        self.policy = PlacementPolicy.intern(policy)
         self.stripe_size = int(stripe_size)
         self.replication = replication
         self.erasure = erasure
@@ -190,15 +193,18 @@ class MemFSS:
                         class_weights=weights, class_members=members,
                         replication=self.replication, erasure=self.erasure)
 
+        # One vectorized plan resolves every stripe (and parity) placement
+        # up front; the per-stripe jobs below only index into it.
+        plan = self.policy.plan_file(inode, n, erasure=self.erasure)
         spans = stripe_spans(size, self.stripe_size)
         batch = max(1, int(batch))
         jobs = []
         for span in spans:
-            key = stripe_key(inode, span.index)
             piece = pieces[span.index] if pieces is not None else None
             # Spread the bundle's request count across its stripes.
             share = batch // n + (1 if span.index < batch % n else 0) if n else 0
-            jobs.append((key, float(span.length), piece, max(1, share)))
+            jobs.append((span.index, float(span.length), piece,
+                         max(1, share)))
         if self.erasure is not None:
             k, m = self.erasure
             for gi, (first, count) in enumerate(group_layout(n, k)):
@@ -208,14 +214,14 @@ class MemFSS:
                             for i in range(first, first + count)),
                            default=0)
                 for j in range(m):
-                    pkey = parity_key(inode, gi, j)
+                    pidx = plan.index_of(parity_key(inode, gi, j))
                     ppiece = (xor_parity(group_pieces)
                               if group_pieces is not None else None)
-                    jobs.append((pkey, float(plen), ppiece, 1))
+                    jobs.append((pidx, float(plen), ppiece, 1))
 
         yield from self._run_window(
-            [self._write_stripe(client, key, nb, piece, share)
-             for key, nb, piece, share in jobs])
+            [self._write_stripe(client, plan, idx, nb, piece, share)
+             for idx, nb, piece, share in jobs])
 
         # Metadata: file record, parent directory entry, global registry.
         yield from client.put(self._meta_server(file_meta_key(path)),
@@ -250,10 +256,11 @@ class MemFSS:
             raise
         return inner.value
 
-    def _write_stripe(self, client: StoreClient, key, nbytes: float,
-                      piece: bytes | None, batch: int = 1):
-        """Generator: write one stripe to its replica set."""
-        targets = self.policy.ranked(key, k=self.replication)
+    def _write_stripe(self, client: StoreClient, plan, idx: int,
+                      nbytes: float, piece: bytes | None, batch: int = 1):
+        """Generator: write one planned stripe to its replica set."""
+        key = plan.keys[idx]
+        targets = plan.chain(idx, k=self.replication)
         for target in targets:
             yield from self._through_fuse(
                 client.node.name, nbytes,
@@ -313,18 +320,17 @@ class MemFSS:
         path = normalize_path(path)
         meta = yield from self.stat(node, path)
         client = self.client(node)
-        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        plan = self._plan_for(meta)
         pieces: list[bytes] = []
         have_payload = True
         batch = max(1, int(batch))
         n = meta.n_stripes
         spans = stripe_spans(meta.size, meta.stripe_size)
         for idx in range(meta.n_stripes):
-            key = stripe_key(meta.inode, idx)
             share = batch // n + (1 if idx < batch % n else 0) if n else 0
             nbytes, piece = yield from self._through_fuse(
                 node.name, float(spans[idx].length),
-                self._read_stripe(client, policy, meta, key, idx,
+                self._read_stripe(client, plan, meta, idx,
                                   batch=max(1, share)))
             if piece is None:
                 have_payload = False
@@ -349,7 +355,7 @@ class MemFSS:
         path = normalize_path(path)
         meta = yield from self.stat(node, path)
         client = self.client(node)
-        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        plan = self._plan_for(meta)
         end = min(offset + length, meta.size)
         if end <= offset:
             return 0, b""
@@ -361,11 +367,10 @@ class MemFSS:
         pieces: list[bytes] = []
         have_payload = True
         for k, idx in enumerate(range(first, last + 1)):
-            key = stripe_key(meta.inode, idx)
             share = batch // n + (1 if k < batch % n else 0)
             _nb, piece = yield from self._through_fuse(
                 node.name, float(spans[idx].length),
-                self._read_stripe(client, policy, meta, key, idx,
+                self._read_stripe(client, plan, meta, idx,
                                   batch=max(1, share)))
             if piece is None:
                 have_payload = False
@@ -379,10 +384,17 @@ class MemFSS:
         lo = offset - first * meta.stripe_size
         return nread, blob[int(lo):int(lo) + int(nread)]
 
-    def _read_stripe(self, client: StoreClient, policy: PlacementPolicy,
-                     meta: FileMeta, key, idx: int, batch: int = 1):
+    def _plan_for(self, meta: FileMeta):
+        """The stripe plan of *meta* under its recorded (interned) policy."""
+        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        return policy.plan_file(meta.inode, meta.n_stripes,
+                                erasure=meta.erasure)
+
+    def _read_stripe(self, client: StoreClient, plan, meta: FileMeta,
+                     idx: int, batch: int = 1):
         """Generator: fetch one stripe, walking the replica chain."""
-        chain = policy.ranked(key, k=max(self.replication, 3))
+        key = plan.keys[idx]
+        chain = plan.chain(idx, k=max(self.replication, 3))
         last_error: Exception | None = None
         for target in chain:
             server = self.servers.get(target)
@@ -396,14 +408,13 @@ class MemFSS:
                 last_error = exc
         if meta.erasure is not None:
             return (yield from self._reconstruct_stripe(
-                client, policy, meta, idx))
+                client, plan, meta, idx))
         raise FileNotFound(
             f"stripe {key!r} of {meta.path!r} lost "
             f"(tried {chain}): {last_error}")
 
-    def _reconstruct_stripe(self, client: StoreClient,
-                            policy: PlacementPolicy, meta: FileMeta,
-                            idx: int):
+    def _reconstruct_stripe(self, client: StoreClient, plan,
+                            meta: FileMeta, idx: int):
         """Generator: rebuild a lost stripe from its parity group."""
         assert meta.erasure is not None
         k, m = meta.erasure
@@ -417,27 +428,27 @@ class MemFSS:
         for sib in range(first, first + count):
             if sib == idx:
                 continue
-            key = stripe_key(meta.inode, sib)
             try:
-                nb, piece = yield from self._fetch_any(client, policy, key)
+                nb, piece = yield from self._fetch_any(client, plan, sib)
             except FileNotFound:
                 raise FileNotFound(
                     f"stripe {idx} of {meta.path!r}: second loss in parity "
                     f"group {gi}; cannot reconstruct with m={m}") from None
             got.append(piece)
             sizes.append(nb)
-        # Fetch one parity stripe.
-        pkey = parity_key(meta.inode, gi, 0)
-        pnb, ppiece = yield from self._fetch_any(client, policy, pkey)
+        # Fetch one parity stripe (parity keys are part of the plan).
+        pidx = plan.index_of(parity_key(meta.inode, gi, 0))
+        pnb, ppiece = yield from self._fetch_any(client, plan, pidx)
         my_len = spans[idx].length
         if ppiece is not None and all(p is not None for p in got):
             data = xor_parity([ppiece] + [p for p in got])  # type: ignore[list-item]
             return float(my_len), data[:my_len]
         return reconstruct_size(my_len), None
 
-    def _fetch_any(self, client: StoreClient, policy: PlacementPolicy, key):
-        """Generator: get *key* from anywhere in its ranked chain."""
-        for target in policy.ranked(key, k=3):
+    def _fetch_any(self, client: StoreClient, plan, idx: int):
+        """Generator: get the plan's key *idx* from anywhere in its chain."""
+        key = plan.keys[idx]
+        for target in plan.chain(idx, k=3):
             server = self.servers.get(target)
             if server is None:
                 continue
@@ -453,14 +464,10 @@ class MemFSS:
         path = normalize_path(path)
         meta = yield from self.stat(node, path)
         client = self.client(node)
-        policy = PlacementPolicy.from_meta(meta, self.policy.family)
-        keys = [stripe_key(meta.inode, i) for i in range(meta.n_stripes)]
-        if meta.erasure is not None:
-            k, m = meta.erasure
-            for gi, _ in enumerate(group_layout(meta.n_stripes, k)):
-                keys.extend(parity_key(meta.inode, gi, j) for j in range(m))
-        for key in keys:
-            for target in policy.ranked(key, k=self.replication):
+        # The plan already covers stripes *and* parity keys.
+        plan = self._plan_for(meta)
+        for idx, key in enumerate(plan.keys):
+            for target in plan.chain(idx, k=self.replication):
                 server = self.servers.get(target)
                 if server is None:
                     continue

@@ -1,4 +1,4 @@
-"""Two-layer stripe placement (paper §III-B).
+"""Two-layer stripe placement (paper §III-B), batch-first.
 
 Layer 1 picks the node *class* by weighted HRW; layer 2 picks the node
 within the class by plain HRW.  A :class:`PlacementPolicy` is immutable —
@@ -6,18 +6,83 @@ membership changes (a victim class joining or leaving) produce a *new*
 policy — because every file's metadata records the policy under which its
 stripes were placed, and reads must be able to reconstruct exactly that
 placement (:meth:`PlacementPolicy.from_meta`).
+
+Immutability is what makes the two amortizations here safe:
+
+- **Policy interning.**  :meth:`PlacementPolicy.from_meta` returns one
+  shared instance per distinct metadata snapshot (an LRU-bounded intern
+  cache), so per-request reads stop rebuilding hashers.
+- **Stripe plans.**  :class:`StripePlan` resolves class, primary node and
+  replica/erasure chains for *all* keys of a file in one vectorized pass
+  (:meth:`PlacementPolicy.plan_file`, cached per policy), replacing the
+  per-stripe scalar loops on the write/read/unlink/migrate paths.
+
+Planner cache behaviour is observable through :data:`planner_stats`
+(surfaced as monitor probes by :mod:`repro.metrics.placement`).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Sequence
+
+import numpy as np
 
 from ..hashing import HashFamily, HrwHasher, MIX64, WeightedClassHrw
 from ..hashing.hrw import get_family, stable_digest
+from .erasure import group_layout, parity_key
 from .metadata import FileMeta
+from .striping import stripe_digest_array, stripe_key
 
-__all__ = ["ClassSpec", "PlacementPolicy"]
+__all__ = ["ClassSpec", "PlacementPolicy", "StripePlan", "PlannerStats",
+           "planner_stats", "clear_placement_caches"]
+
+
+class PlannerStats:
+    """Process-wide planner counters (policy interning + stripe plans).
+
+    ``stripes_resolved`` counts keys whose placement was served through a
+    :class:`StripePlan` — the work the scalar path would have done one key
+    at a time.
+    """
+
+    __slots__ = ("policy_hits", "policy_misses", "plan_hits", "plan_misses",
+                 "stripes_resolved")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.policy_hits = 0
+        self.policy_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.stripes_resolved = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"<PlannerStats {parts}>"
+
+
+planner_stats = PlannerStats()
+
+#: Interned policies, keyed by (family, ordered class snapshot).
+_POLICY_CACHE: "OrderedDict[tuple, PlacementPolicy]" = OrderedDict()
+_POLICY_CACHE_SIZE = 128
+#: Per-policy plan cache bound (plans hold O(n_keys × n_nodes) arrays).
+_PLAN_CACHE_SIZE = 64
+
+
+def clear_placement_caches() -> None:
+    """Drop interned policies, cached plans, and digest arrays (tests and
+    cold-path benchmarks)."""
+    _POLICY_CACHE.clear()
+    stripe_digest_array.cache_clear()
+    planner_stats.reset()
 
 
 @dataclass(frozen=True)
@@ -30,6 +95,100 @@ class ClassSpec:
     def __post_init__(self):
         if len(set(self.nodes)) != len(self.nodes):
             raise ValueError("duplicate nodes in class")
+
+
+class StripePlan:
+    """Vectorized placement of many keys under one immutable policy.
+
+    Construction resolves the layer-1 class and layer-2 primary node for
+    every key in one batch pass; the full replica / lazy-lookup chains
+    (:meth:`chain`) are materialized lazily — also vectorized, once — the
+    first time any chain deeper than the primary is needed.  All results
+    are identical to the scalar ``place`` / ``class_of`` / ``ranked``
+    calls, key by key.
+    """
+
+    __slots__ = ("policy", "keys", "digests", "_class_order", "_win",
+                 "_primary_idx", "_node_orders", "_primaries", "_index")
+
+    def __init__(self, policy: "PlacementPolicy",
+                 keys: Sequence[Hashable], digests: np.ndarray):
+        if len(keys) != len(digests):
+            raise ValueError("one digest per key required")
+        self.policy = policy
+        self.keys = tuple(keys)
+        d = np.ascontiguousarray(digests, dtype=np.uint64)
+        self.digests = d
+        ne = policy._ne_classes
+        # Class scores restricted to non-empty classes: the scalar path
+        # ranks all classes then drops empty ones, and the stable sort
+        # preserves the relative order of the survivors — so ranking the
+        # non-empty subset directly is equivalent.
+        all_scores = policy._layer1.score_batch(d)
+        cls_scores = all_scores[policy._ne_rows]
+        self._class_order = np.argsort(-cls_scores, axis=0, kind="stable").T
+        win = (self._class_order[:, 0] if len(d)
+               else np.empty(0, dtype=np.int64))
+        self._win = win
+        # Primary node per key: group the keys by winning class, one
+        # argmax over that class's vectorized node scores per group.
+        primary = np.empty(len(d), dtype=np.int64)
+        names = np.empty(len(d), dtype=object)
+        for ci, cname in enumerate(ne):
+            mask = win == ci
+            if not mask.any():
+                continue
+            hasher = policy._layer2[cname]
+            idx = np.argmax(hasher.score_batch(d[mask]), axis=0)
+            primary[mask] = idx
+            names[mask] = np.asarray(hasher.nodes, dtype=object)[idx]
+        self._primary_idx = primary
+        self._primaries = tuple(names.tolist())
+        self._node_orders: dict[str, np.ndarray] | None = None
+        self._index: dict[Hashable, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def primaries(self) -> tuple[str, ...]:
+        """Primary node of every key, in key order."""
+        return self._primaries
+
+    def primary(self, i: int) -> str:
+        return self._primaries[i]
+
+    def class_of(self, i: int) -> str:
+        """Winning (non-empty) class of key *i*."""
+        return self.policy._ne_classes[int(self._win[i])]
+
+    def index_of(self, key: Hashable) -> int:
+        """Position of *key* in this plan (for parity/sibling lookups)."""
+        if self._index is None:
+            self._index = {k: i for i, k in enumerate(self.keys)}
+        return self._index[key]
+
+    def _ensure_orders(self) -> None:
+        if self._node_orders is None:
+            self._node_orders = {
+                cname: self.policy._layer2[cname].rank_batch(self.digests)
+                for cname in self.policy._ne_classes}
+
+    def chain(self, i: int, k: int | None = None) -> list[str]:
+        """Replica / lazy-lookup chain of key *i*: nodes of the winning
+        class by descending HRW score, spilling into the next-ranked class
+        (paper §III-E) — identical to ``policy.ranked(keys[i], k)``."""
+        if k == 1:
+            return [self._primaries[i]]
+        self._ensure_orders()
+        out: list[str] = []
+        for ci in self._class_order[i]:
+            cname = self.policy._ne_classes[int(ci)]
+            nodes = self.policy._layer2[cname].nodes
+            out.extend(nodes[j] for j in self._node_orders[cname][i])
+            if k is not None and len(out) >= k:
+                return out[:k]
+        return out if k is None else out[:k]
 
 
 class PlacementPolicy:
@@ -51,6 +210,12 @@ class PlacementPolicy:
             self.family)
         self._layer2 = {name: HrwHasher(spec.nodes, self.family)
                         for name, spec in classes.items() if spec.nodes}
+        self._ne_classes = [name for name, spec in classes.items()
+                            if spec.nodes]
+        self._ne_rows = np.asarray(
+            [i for i, spec in enumerate(classes.values()) if spec.nodes],
+            dtype=np.intp)
+        self._plans: "OrderedDict[tuple, StripePlan]" = OrderedDict()
 
     # -- introspection ------------------------------------------------------------
     @property
@@ -70,31 +235,81 @@ class PlacementPolicy:
                      for n in spec.nodes)
 
     # -- placement ---------------------------------------------------------------
-    def class_ranking(self, key: Hashable) -> list[str]:
-        """Classes by descending weighted score, skipping empty classes."""
-        sc = self._layer1.scores(key)
+    def _class_ranking_digest(self, digest: int) -> list[str]:
+        sc = self._layer1.scores_digest(digest)
         order = sorted(self._classes, key=lambda c: -sc[c])
         return [c for c in order if self._classes[c].nodes]
 
+    def class_ranking(self, key: Hashable) -> list[str]:
+        """Classes by descending weighted score, skipping empty classes."""
+        return self._class_ranking_digest(stable_digest(key))
+
     def class_of(self, key: Hashable) -> str:
-        ranking = self.class_ranking(key)
-        return ranking[0]
+        return self._class_ranking_digest(stable_digest(key))[0]
 
     def place(self, key: Hashable) -> str:
         """The node storing *key*'s primary copy."""
-        cls = self.class_of(key)
-        return self._layer2[cls].place(key)
+        digest = stable_digest(key)
+        cls = self._class_ranking_digest(digest)[0]
+        return self._layer2[cls].place_digest(digest)
 
     def ranked(self, key: Hashable, k: int | None = None) -> list[str]:
         """Replica / lazy-lookup chain: nodes of the winning class by
         descending HRW score, spilling into the next-ranked class if the
         winning class is smaller than *k* (paper §III-E)."""
+        digest = stable_digest(key)
         out: list[str] = []
-        for cls in self.class_ranking(key):
-            out.extend(self._layer2[cls].ranked(key))
+        for cls in self._class_ranking_digest(digest):
+            out.extend(self._layer2[cls].ranked_digest(digest))
             if k is not None and len(out) >= k:
                 return out[:k]
         return out if k is None else out[:k]
+
+    # -- batch planning -----------------------------------------------------------
+    def plan(self, keys: Sequence[Hashable],
+             digests: np.ndarray | None = None) -> StripePlan:
+        """Resolve the placement of *keys* in one vectorized pass."""
+        if digests is None:
+            digests = np.fromiter((stable_digest(k) for k in keys),
+                                  dtype=np.uint64, count=len(keys))
+        planner_stats.stripes_resolved += len(keys)
+        return StripePlan(self, keys, digests)
+
+    def plan_file(self, inode: int, n_stripes: int,
+                  erasure: tuple[int, int] | None = None) -> StripePlan:
+        """The (cached) plan for one file: all stripe keys, plus the parity
+        keys of its erasure groups when *erasure* = ``(k, m)`` is set.
+
+        Plans are memoized per policy instance; combined with policy
+        interning (:meth:`from_meta`) repeated reads of a file hit a fully
+        resolved plan instead of re-placing every stripe.
+        """
+        token = (inode, n_stripes, erasure)
+        plan = self._plans.get(token)
+        if plan is not None:
+            self._plans.move_to_end(token)
+            planner_stats.plan_hits += 1
+            planner_stats.stripes_resolved += len(plan)
+            return plan
+        planner_stats.plan_misses += 1
+        keys: list[Hashable] = [stripe_key(inode, i)
+                                for i in range(n_stripes)]
+        digests = np.asarray(stripe_digest_array(inode, n_stripes))
+        if erasure is not None:
+            k, m = erasure
+            pkeys = [parity_key(inode, gi, j)
+                     for gi, _ in enumerate(group_layout(n_stripes, k))
+                     for j in range(m)]
+            if pkeys:
+                keys.extend(pkeys)
+                pdig = np.fromiter((stable_digest(pk) for pk in pkeys),
+                                   dtype=np.uint64, count=len(pkeys))
+                digests = np.concatenate([digests, pdig])
+        plan = self.plan(keys, digests)
+        self._plans[token] = plan
+        while len(self._plans) > _PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return plan
 
     # -- metadata round trip --------------------------------------------------------
     def snapshot(self) -> tuple[dict[str, float], dict[str, list[str]]]:
@@ -103,14 +318,60 @@ class PlacementPolicy:
         members = {c: list(spec.nodes) for c, spec in self._classes.items()}
         return weights, members
 
+    def _intern_token(self) -> tuple:
+        return (self.family.name,
+                tuple((c, float(spec.weight), spec.nodes)
+                      for c, spec in self._classes.items()))
+
+    @classmethod
+    def _intern_put(cls, token: tuple,
+                    policy: "PlacementPolicy") -> "PlacementPolicy":
+        _POLICY_CACHE[token] = policy
+        while len(_POLICY_CACHE) > _POLICY_CACHE_SIZE:
+            _POLICY_CACHE.popitem(last=False)
+        return policy
+
+    @classmethod
+    def intern(cls, policy: "PlacementPolicy") -> "PlacementPolicy":
+        """The canonical shared instance for *policy*'s snapshot.
+
+        Policies are immutable, so call sites that rebuild equal policies
+        (metadata reads, eviction sweeps) can share one instance — and with
+        it the per-policy plan cache.
+        """
+        token = policy._intern_token()
+        cached = _POLICY_CACHE.get(token)
+        if cached is not None:
+            _POLICY_CACHE.move_to_end(token)
+            planner_stats.policy_hits += 1
+            return cached
+        planner_stats.policy_misses += 1
+        return cls._intern_put(token, policy)
+
     @classmethod
     def from_meta(cls, meta: FileMeta,
                   family: str | HashFamily = MIX64) -> "PlacementPolicy":
-        """Reconstruct the policy a file was written under."""
+        """The (interned) policy a file was written under.
+
+        Reconstruction is keyed by the metadata snapshot, so repeated
+        reads/unlinks of files written under the same policy reuse one
+        instance instead of rebuilding the hashers per call.
+        """
+        fam = get_family(family)
+        token = (fam.name,
+                 tuple((name, float(meta.class_weights[name]),
+                        tuple(meta.class_members[name]))
+                       for name in meta.class_weights))
+        cached = _POLICY_CACHE.get(token)
+        if cached is not None:
+            _POLICY_CACHE.move_to_end(token)
+            planner_stats.policy_hits += 1
+            return cached
+        planner_stats.policy_misses += 1
         classes = {name: ClassSpec(meta.class_weights[name],
                                    tuple(meta.class_members[name]))
                    for name in meta.class_weights}
-        return cls(classes, family)
+        return cls._intern_put(token, cls(classes, fam))
 
     # -- evolution ---------------------------------------------------------------
     def with_class(self, name: str, weight: float,

@@ -81,8 +81,8 @@ class ScavengingManager:
             if watch:
                 self.env.process(self._watch(lease, node),
                                  name=f"scavenge-watch@{node.name}")
-        self.fs.policy = self.fs.policy.with_class(
-            class_name, weight, tuple(n.name for n in nodes))
+        self.fs.policy = PlacementPolicy.intern(self.fs.policy.with_class(
+            class_name, weight, tuple(n.name for n in nodes)))
         return servers
 
     def _watch(self, lease: ScavengeLease, node: Node):
@@ -105,7 +105,8 @@ class ScavengingManager:
         self._evacuating.add(name)
         self.evictions += 1
         # 1. Stop placing new data on the node.
-        self.fs.policy = self.fs.policy.without_node(name)
+        self.fs.policy = PlacementPolicy.intern(
+            self.fs.policy.without_node(name))
         agent = self.fs.own_nodes[0]
         client = self.fs.client(agent)
         moved = 0.0
@@ -119,12 +120,20 @@ class ScavengingManager:
             if not any(name in members
                        for members in meta.class_members.values()):
                 continue
+            # Both policies are interned, so every file written under the
+            # same snapshot shares one vectorized plan for the old and the
+            # post-eviction placement instead of re-ranking per stripe.
             old_policy = PlacementPolicy.from_meta(meta,
                                                    self.fs.policy.family)
-            new_policy = old_policy.without_node(name)
+            new_policy = PlacementPolicy.intern(
+                old_policy.without_node(name))
+            old_plan = old_policy.plan_file(meta.inode, meta.n_stripes,
+                                            erasure=meta.erasure)
+            new_plan = new_policy.plan_file(meta.inode, meta.n_stripes,
+                                            erasure=meta.erasure)
             for idx in range(meta.n_stripes):
                 key = stripe_key(meta.inode, idx)
-                chain = old_policy.ranked(key, k=max(meta.replication, 1))
+                chain = old_plan.chain(idx, k=max(meta.replication, 1))
                 if name not in chain:
                     continue
                 try:
@@ -133,7 +142,7 @@ class ScavengingManager:
                     if exc.code == "missing":
                         continue
                     raise
-                target = new_policy.ranked(key, k=1)[0]
+                target = new_plan.primary(idx)
                 yield from client.put(
                     self.fs.servers[target], key,
                     nbytes=None if piece is not None else nbytes,

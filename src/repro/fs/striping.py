@@ -10,11 +10,16 @@ the file's *inode*, not its path, so renames never move data.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
+import numpy as np
+
+from ..hashing.hrw import fnv1a
 from ..units import MB
 
 __all__ = ["DEFAULT_STRIPE_SIZE", "StripeSpan", "stripe_count",
-           "stripe_spans", "stripe_key", "split_payload", "join_payload"]
+           "stripe_spans", "stripe_key", "stripe_digest_array",
+           "split_payload", "join_payload"]
 
 DEFAULT_STRIPE_SIZE = 8 * MB
 
@@ -58,6 +63,27 @@ def stripe_key(inode: int, index: int) -> tuple[str, int, int]:
     if index < 0:
         raise ValueError("stripe index must be non-negative")
     return ("stripe", inode, index)
+
+
+@lru_cache(maxsize=512)
+def stripe_digest_array(inode: int, n_stripes: int) -> np.ndarray:
+    """``stable_digest(stripe_key(inode, i))`` for ``i < n_stripes``, as a
+    read-only uint64 array.
+
+    All of a file's stripe keys share the repr prefix ``('stripe', inode,``,
+    so the FNV-1a state after the prefix is computed once and only each
+    index's suffix is hashed — and the whole array is memoized per
+    ``(inode, n_stripes)``, since every read of a file re-resolves the same
+    keys.  The result is bitwise-equal to per-key :func:`stable_digest`.
+    """
+    if n_stripes < 0:
+        raise ValueError("n_stripes must be non-negative")
+    prefix_state = fnv1a(f"('stripe', {inode!r}, ".encode())
+    out = np.fromiter(
+        (fnv1a(f"{i})".encode(), prefix_state) for i in range(n_stripes)),
+        dtype=np.uint64, count=n_stripes)
+    out.flags.writeable = False
+    return out
 
 
 def split_payload(payload: bytes, stripe_size: int) -> list[bytes]:

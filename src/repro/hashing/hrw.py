@@ -35,8 +35,11 @@ import numpy as np
 
 __all__ = [
     "stable_digest",
+    "fnv1a",
     "hash_mix64",
     "hash_tr98",
+    "hash_mix64_batch",
+    "hash_tr98_batch",
     "HashFamily",
     "MIX64",
     "TR98",
@@ -49,6 +52,23 @@ _TR_A = 1103515245
 _TR_B = 12345
 _TR_MOD = 1 << 31
 
+FNV_OFFSET = 1469598103934665603
+_FNV_PRIME = 1099511628211
+
+
+def fnv1a(data: bytes, state: int = FNV_OFFSET) -> int:
+    """FNV-1a over *data*, continuing from *state*.
+
+    Chainable: ``fnv1a(a + b) == fnv1a(b, fnv1a(a))``, which lets callers
+    checkpoint the digest of a shared prefix (see
+    :func:`repro.fs.striping.stripe_digest_array`).
+    """
+    h = state
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _U64
+    return h
+
 
 def stable_digest(value: Hashable) -> int:
     """Deterministic 64-bit digest of a key or node identifier.
@@ -59,11 +79,7 @@ def stable_digest(value: Hashable) -> int:
     """
     data = repr(value).encode() if not isinstance(value, (bytes, bytearray)) \
         else bytes(value)
-    h = 1469598103934665603
-    for byte in data:
-        h ^= byte
-        h = (h * 1099511628211) & _U64
-    return h
+    return fnv1a(data)
 
 
 def hash_mix64(seed: int, digest: int) -> int:
@@ -81,13 +97,42 @@ def hash_tr98(seed: int, digest: int) -> int:
     return (_TR_A * (((_TR_A * s + _TR_B) ^ d) % _TR_MOD) + _TR_B) % _TR_MOD
 
 
-class HashFamily:
-    """A scalar hash plus its modulus and a vectorized batch variant."""
+def hash_mix64_batch(seed: int, digests: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hash_mix64` (one seed, uint64 digest array)."""
+    d = np.asarray(digests, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = np.uint64(seed) ^ (d * np.uint64(0x9E3779B97F4A7C15))
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
 
-    def __init__(self, name: str, fn, modulus: int):
+
+def hash_tr98_batch(seed: int, digests: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hash_tr98` (one seed, uint64 digest array)."""
+    d = np.asarray(digests, dtype=np.uint64)
+    mod = np.uint64(_TR_MOD)
+    s = np.uint64(seed % _TR_MOD)
+    with np.errstate(over="ignore"):
+        inner = ((np.uint64(_TR_A) * s + np.uint64(_TR_B)) % mod
+                 ^ (d % mod)) % mod
+        return (np.uint64(_TR_A) * inner + np.uint64(_TR_B)) % mod
+
+
+class HashFamily:
+    """A scalar hash, its modulus, and an explicit vectorized variant.
+
+    *batch_fn* is ``(seed, uint64 array) -> uint64 array``, semantically
+    ``[fn(seed, d) for d in digests]``.  Families constructed without one
+    (custom/experimental hashes) fall back to a scalar loop — correct for
+    any *fn* whose range fits uint64, just not vectorized — instead of
+    raising at batch time deep inside a run.
+    """
+
+    def __init__(self, name: str, fn, modulus: int, batch_fn=None):
         self.name = name
         self.fn = fn
         self.modulus = modulus
+        self.batch_fn = batch_fn
 
     def __call__(self, seed: int, digest: int) -> int:
         return self.fn(seed, digest)
@@ -95,27 +140,17 @@ class HashFamily:
     def batch(self, seed: int, digests: np.ndarray) -> np.ndarray:
         """Vectorized hash of many digests with one seed (uint64 array)."""
         d = np.asarray(digests, dtype=np.uint64)
-        if self.name == "mix64":
-            with np.errstate(over="ignore"):
-                z = np.uint64(seed) ^ (d * np.uint64(0x9E3779B97F4A7C15))
-                z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-                z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-                return z ^ (z >> np.uint64(31))
-        if self.name == "tr98":
-            mod = np.uint64(_TR_MOD)
-            s = np.uint64(seed % _TR_MOD)
-            with np.errstate(over="ignore"):
-                inner = ((np.uint64(_TR_A) * s + np.uint64(_TR_B)) % mod
-                         ^ (d % mod)) % mod
-                return (np.uint64(_TR_A) * inner + np.uint64(_TR_B)) % mod
-        raise ValueError(f"no batch implementation for {self.name!r}")
+        if self.batch_fn is not None:
+            return self.batch_fn(seed, d)
+        return np.fromiter((self.fn(seed, int(x)) for x in d),
+                           dtype=np.uint64, count=len(d))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<HashFamily {self.name}>"
 
 
-MIX64 = HashFamily("mix64", hash_mix64, 1 << 64)
-TR98 = HashFamily("tr98", hash_tr98, _TR_MOD)
+MIX64 = HashFamily("mix64", hash_mix64, 1 << 64, hash_mix64_batch)
+TR98 = HashFamily("tr98", hash_tr98, _TR_MOD, hash_tr98_batch)
 
 _FAMILIES = {"mix64": MIX64, "tr98": TR98}
 
@@ -153,30 +188,56 @@ class HrwHasher:
     def nodes(self) -> tuple[Hashable, ...]:
         return tuple(self._nodes)
 
+    def scores_digest(self, digest: int) -> list[int]:
+        """Per-node scores of an already-digested key (digest computed once
+        by the caller and threaded through both placement layers)."""
+        return [self.family(s, digest) for s in self._seeds]
+
     def scores(self, key: Hashable) -> list[int]:
-        d = stable_digest(key)
-        return [self.family(s, d) for s in self._seeds]
+        return self.scores_digest(stable_digest(key))
+
+    def place_digest(self, digest: int) -> Hashable:
+        sc = self.scores_digest(digest)
+        return self._nodes[max(range(len(sc)), key=sc.__getitem__)]
 
     def place(self, key: Hashable) -> Hashable:
         """The node with the highest random weight for *key*."""
-        sc = self.scores(key)
-        return self._nodes[max(range(len(sc)), key=sc.__getitem__)]
+        return self.place_digest(stable_digest(key))
 
-    def ranked(self, key: Hashable, k: int | None = None) -> list[Hashable]:
-        """Nodes ordered by descending score — replica / fallback chain."""
-        sc = self.scores(key)
+    def ranked_digest(self, digest: int,
+                      k: int | None = None) -> list[Hashable]:
+        sc = self.scores_digest(digest)
         order = sorted(range(len(sc)), key=lambda i: (-sc[i], i))
         if k is not None:
             order = order[:k]
         return [self._nodes[i] for i in order]
 
-    def place_batch(self, digests: np.ndarray) -> np.ndarray:
-        """Vectorized placement: index into :attr:`nodes` for each digest."""
+    def ranked(self, key: Hashable, k: int | None = None) -> list[Hashable]:
+        """Nodes ordered by descending score — replica / fallback chain."""
+        return self.ranked_digest(stable_digest(key), k)
+
+    def score_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized scores, shape ``(n_nodes, n_digests)`` (uint64)."""
         d = np.asarray(digests, dtype=np.uint64)
         scores = np.empty((len(self._seeds), len(d)), dtype=np.uint64)
         for i, s in enumerate(self._seed_arr):
             scores[i] = self.family.batch(int(s), d)
-        return np.argmax(scores, axis=0)
+        return scores
+
+    def place_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized placement: index into :attr:`nodes` for each digest."""
+        return np.argmax(self.score_batch(digests), axis=0)
+
+    def rank_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized replica chains: node indices by descending score,
+        shape ``(n_digests, n_nodes)``.  Row *i* equals the indices of
+        :meth:`ranked` for digest *i* (ties break on the lower index, as in
+        the scalar sort)."""
+        scores = self.score_batch(digests)
+        # uint64 cannot be negated; complementing reverses the order and a
+        # stable ascending argsort then breaks ties on the lower node index.
+        inverted = np.uint64(_U64) - scores
+        return np.argsort(inverted, axis=0, kind="stable").T
 
     def with_nodes(self, nodes: Iterable[Hashable]) -> "HrwHasher":
         """A new hasher over a different node set (HRW is stateless)."""
@@ -213,10 +274,13 @@ class WeightedClassHrw:
     def weight(self, cls: Hashable) -> float:
         return self._weights[cls]
 
-    def scores(self, key: Hashable) -> dict[Hashable, float]:
-        d = stable_digest(key)
-        return {c: self.family(self._seeds[c], d) - self._weights[c]
+    def scores_digest(self, digest: int) -> dict[Hashable, float]:
+        """Weighted per-class scores of an already-digested key."""
+        return {c: self.family(self._seeds[c], digest) - self._weights[c]
                 for c in self._classes}
+
+    def scores(self, key: Hashable) -> dict[Hashable, float]:
+        return self.scores_digest(stable_digest(key))
 
     def choose_class(self, key: Hashable) -> Hashable:
         sc = self.scores(key)
@@ -228,14 +292,29 @@ class WeightedClassHrw:
                 best, best_score = c, sc[c]
         return best
 
-    def choose_batch(self, digests: np.ndarray) -> np.ndarray:
-        """Vectorized class choice: index into :attr:`classes`."""
+    def score_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized weighted scores, shape ``(n_classes, n_digests)``.
+
+        float64, matching the scalar path: Python's ``int - float`` also
+        rounds the hash to double precision before subtracting.
+        """
         d = np.asarray(digests, dtype=np.uint64)
         scores = np.empty((len(self._classes), len(d)), dtype=np.float64)
         for i, c in enumerate(self._classes):
             scores[i] = (self.family.batch(self._seeds[c], d)
                          .astype(np.float64) - self._weights[c])
-        return np.argmax(scores, axis=0)
+        return scores
+
+    def choose_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized class choice: index into :attr:`classes`."""
+        return np.argmax(self.score_batch(digests), axis=0)
+
+    def rank_batch(self, digests: np.ndarray) -> np.ndarray:
+        """Vectorized class rankings by descending weighted score, shape
+        ``(n_digests, n_classes)``; ties keep registration order, like the
+        scalar stable sort."""
+        return np.argsort(-self.score_batch(digests), axis=0,
+                          kind="stable").T
 
     def with_class(self, cls: Hashable, weight: float) -> "WeightedClassHrw":
         """A new layer with an added (or re-weighted) class — used when a

@@ -1,9 +1,11 @@
 """Utilization summaries and text rendering for tables/figures."""
 
+from .placement import attach_placement_probes, placement_counters
 from .report import fmt_pct, render_bars, render_table
 from .utilization import NodeUtilization, class_utilization, node_utilization
 
 __all__ = [
     "render_table", "render_bars", "fmt_pct",
     "NodeUtilization", "node_utilization", "class_utilization",
+    "placement_counters", "attach_placement_probes",
 ]

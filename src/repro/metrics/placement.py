@@ -1,0 +1,37 @@
+"""Placement-planner observability.
+
+The batch-first planner (:mod:`repro.fs.placement`) keeps process-wide
+counters — policy-intern hits/misses, stripe-plan hits/misses, and total
+stripes resolved through plans.  This module exposes them as plain
+snapshots for reports and as :class:`~repro.sim.monitor.Monitor` probes so
+experiment runs can chart placement-resolution work next to CPU/NIC
+utilization.
+"""
+
+from __future__ import annotations
+
+from ..fs.placement import planner_stats
+from ..sim.monitor import Monitor, TimeSeries
+
+__all__ = ["placement_counters", "attach_placement_probes"]
+
+_FIELDS = ("policy_hits", "policy_misses", "plan_hits", "plan_misses",
+           "stripes_resolved")
+
+
+def placement_counters() -> dict[str, int]:
+    """Current planner counters (cumulative since last reset)."""
+    return planner_stats.snapshot()
+
+
+def attach_placement_probes(monitor: Monitor,
+                            prefix: str = "planner",
+                            ) -> dict[str, TimeSeries]:
+    """Sample every planner counter as a ``<prefix>.<field>`` time series.
+
+    Counters are cumulative; diff consecutive samples for rates.
+    """
+    return monitor.add_probes({
+        f"{prefix}.{field}": (lambda f=field:
+                              float(getattr(planner_stats, f)))
+        for field in _FIELDS})

@@ -85,6 +85,13 @@ class Monitor:
         self.series[name] = ts
         return ts
 
+    def add_probes(self, probes: dict[str, Callable[[], float]],
+                   ) -> dict[str, TimeSeries]:
+        """Register a group of probes at once (e.g. a counter snapshot
+        fanned out per field — see ``repro.metrics.placement``)."""
+        return {name: self.add_probe(name, probe)
+                for name, probe in probes.items()}
+
     def start(self) -> None:
         if self._running:
             raise RuntimeError("monitor already started")

@@ -1,0 +1,220 @@
+"""Batch planner ≡ scalar placement, policy interning, digest arrays.
+
+The refactor to a batch-first :class:`~repro.fs.placement.StripePlan` must
+not move a single stripe: stripe locations are persisted in file metadata,
+so batch and scalar resolution have to agree bit-for-bit — including at
+the α = 0 % / 100 % endpoints of Fig. 2 (a class weight equal to the hash
+modulus starves the class entirely) and for degenerate single-node
+classes.  Hypothesis drives both hash families through random policies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fs import (ClassSpec, FileMeta, PlacementPolicy, StripePlan,
+                      planner_stats, stripe_digest_array, stripe_key)
+from repro.fs.placement import clear_placement_caches
+from repro.hashing import MIX64, TR98, own_victim_weights, stable_digest
+from repro.hashing.hrw import get_family
+
+FAMILIES = ("mix64", "tr98")
+
+
+@st.composite
+def policies(draw):
+    """Random two-layer policies: 1-3 classes, 0-4 nodes each (at least one
+    node overall), weights spanning [0, modulus] including both endpoints."""
+    family = draw(st.sampled_from(FAMILIES))
+    modulus = get_family(family).modulus
+    n_classes = draw(st.integers(1, 3))
+    sizes = draw(st.lists(st.integers(0, 4),
+                          min_size=n_classes, max_size=n_classes))
+    assume(any(sizes))
+    classes = {}
+    serial = 0
+    for ci, size in enumerate(sizes):
+        frac = draw(st.one_of(st.sampled_from([0.0, 1.0]),
+                              st.floats(0.0, 1.0)))
+        nodes = tuple(f"n{serial + i}" for i in range(size))
+        serial += size
+        classes[f"c{ci}"] = ClassSpec(frac * modulus, nodes)
+    return PlacementPolicy(classes, family)
+
+
+def keys_for(inode, n):
+    return [stripe_key(inode, i) for i in range(n)]
+
+
+class TestPlanEquivalence:
+    @given(policies(), st.integers(0, 2**32), st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_plan_matches_scalar(self, policy, inode, n):
+        keys = keys_for(inode, n)
+        plan = policy.plan(keys)
+        assert len(plan) == n
+        assert list(plan.primaries) == [policy.place(k) for k in keys]
+        assert [plan.class_of(i) for i in range(n)] == \
+            [policy.class_of(k) for k in keys]
+
+    @given(policies(), st.integers(0, 2**32), st.integers(1, 16),
+           st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_chain_matches_ranked_prefix(self, policy, inode, n, k):
+        keys = keys_for(inode, n)
+        plan = policy.plan(keys)
+        for i, key in enumerate(keys):
+            assert plan.chain(i, k) == policy.ranked(key, k=k)
+            assert plan.chain(i) == policy.ranked(key)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("alpha", [0.0, 0.25, 1.0])
+    def test_starved_endpoints(self, family, alpha):
+        """Fig. 2's α endpoints: one class carries weight == modulus and
+        must receive nothing, in scalar and batch resolution alike."""
+        w = own_victim_weights(alpha, family)
+        policy = PlacementPolicy({
+            "own": ClassSpec(w["own"], ("o0", "o1")),
+            "victim": ClassSpec(w["victim"], ("v0", "v1", "v2")),
+        }, family)
+        keys = keys_for(9, 400)
+        plan = policy.plan(keys)
+        assert list(plan.primaries) == [policy.place(k) for k in keys]
+        if alpha == 0.0:
+            assert all(p.startswith("v") for p in plan.primaries)
+        elif alpha == 1.0:
+            assert all(p.startswith("o") for p in plan.primaries)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_single_node_class(self, family):
+        policy = PlacementPolicy({
+            "solo": ClassSpec(0.0, ("lonely",)),
+            "rest": ClassSpec(0.0, ("a", "b")),
+        }, family)
+        keys = keys_for(5, 200)
+        plan = policy.plan(keys)
+        assert list(plan.primaries) == [policy.place(k) for k in keys]
+        for i, key in enumerate(keys):
+            assert plan.chain(i, 3) == policy.ranked(key, k=3)
+
+    def test_empty_plan(self):
+        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x",))})
+        plan = policy.plan([])
+        assert len(plan) == 0 and plan.primaries == ()
+
+    def test_golden_placements_pinned(self):
+        """Placements recorded from the pre-refactor scalar implementation:
+        persisted stripe locations must never silently change."""
+        golden = {
+            "mix64": ["v0", "v2", "v11", "o1", "v5", "v9",
+                      "v7", "v9", "v6", "v4", "v9", "v1"],
+            "tr98": ["v7", "v3", "v5", "v8", "o2", "v11",
+                     "v0", "v11", "v10", "v11", "v11", "v11"],
+        }
+        keys = [("stripe", 7, i) for i in range(12)]
+        for family, expect in golden.items():
+            w = own_victim_weights(0.25, family)
+            policy = PlacementPolicy({
+                "own": ClassSpec(w["own"],
+                                 tuple(f"o{i}" for i in range(4))),
+                "victim": ClassSpec(w["victim"],
+                                    tuple(f"v{i}" for i in range(12))),
+            }, family)
+            assert [policy.place(k) for k in keys] == expect
+            assert list(policy.plan(keys).primaries) == expect
+
+
+class TestPolicyInterning:
+    def make_meta(self, policy, inode=1):
+        weights, members = policy.snapshot()
+        return FileMeta(path="/f", inode=inode, size=100, stripe_size=10,
+                        n_stripes=10, class_weights=weights,
+                        class_members=members)
+
+    @given(policies())
+    @settings(max_examples=40, deadline=None)
+    def test_from_meta_round_trip_is_interned(self, policy):
+        meta = self.make_meta(policy)
+        first = PlacementPolicy.from_meta(meta, policy.family)
+        assert PlacementPolicy.from_meta(meta, policy.family) is first
+        # The freshly built policy has the same snapshot -> same instance.
+        assert PlacementPolicy.intern(policy) is first
+
+    def test_interned_policy_shares_plans(self):
+        clear_placement_caches()
+        policy = PlacementPolicy.intern(
+            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        meta = self.make_meta(policy)
+        again = PlacementPolicy.from_meta(meta, policy.family)
+        assert again is policy
+        plan = policy.plan_file(1, 10)
+        assert again.plan_file(1, 10) is plan
+
+    def test_distinct_snapshots_not_shared(self):
+        a = PlacementPolicy.intern(
+            PlacementPolicy({"a": ClassSpec(0.0, ("x",))}))
+        b = PlacementPolicy.intern(
+            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        assert a is not b
+
+    def test_family_part_of_intern_key(self):
+        weights = {"a": 0.0}
+        members = {"a": ["x", "y"]}
+        meta = FileMeta(path="/f", inode=1, size=10, stripe_size=10,
+                        n_stripes=1, class_weights=weights,
+                        class_members=members)
+        assert PlacementPolicy.from_meta(meta, MIX64) is not \
+            PlacementPolicy.from_meta(meta, TR98)
+
+    def test_counters_move(self):
+        clear_placement_caches()
+        policy = PlacementPolicy.intern(
+            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        meta = self.make_meta(policy)
+        PlacementPolicy.from_meta(meta, policy.family)
+        before = planner_stats.snapshot()
+        PlacementPolicy.from_meta(meta, policy.family)
+        policy.plan_file(1, 10)
+        policy.plan_file(1, 10)
+        after = planner_stats.snapshot()
+        assert after["policy_hits"] == before["policy_hits"] + 1
+        assert after["plan_hits"] == before["plan_hits"] + 1
+        assert after["stripes_resolved"] >= before["stripes_resolved"] + 20
+
+
+class TestPlanFile:
+    def test_plan_file_cached_identity(self):
+        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y", "z"))})
+        assert policy.plan_file(3, 8) is policy.plan_file(3, 8)
+        assert policy.plan_file(3, 8) is not policy.plan_file(4, 8)
+
+    def test_plan_file_includes_parity_keys(self):
+        from repro.fs import parity_key
+        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y", "z"))})
+        plan = policy.plan_file(3, 7, erasure=(3, 2))
+        # ceil(7/3) = 3 groups x 2 parity keys after the 7 stripes.
+        assert len(plan) == 7 + 6
+        idx = plan.index_of(parity_key(3, 1, 0))
+        assert plan.keys[idx] == parity_key(3, 1, 0)
+        assert plan.primary(idx) == policy.place(parity_key(3, 1, 0))
+
+    @given(st.integers(0, 2**40), st.integers(0, 80))
+    @settings(max_examples=60, deadline=None)
+    def test_stripe_digest_array_matches_stable_digest(self, inode, n):
+        arr = stripe_digest_array(inode, n)
+        assert arr.dtype == np.uint64 and not arr.flags.writeable
+        assert arr.tolist() == \
+            [stable_digest(stripe_key(inode, i)) for i in range(n)]
+
+    def test_plan_digests_match_keys(self):
+        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))})
+        plan = policy.plan_file(11, 5)
+        assert plan.digests.tolist() == \
+            [stable_digest(k) for k in plan.keys]
+
+    def test_plan_rejects_mismatched_digests(self):
+        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x",))})
+        with pytest.raises(ValueError):
+            StripePlan(policy, [stripe_key(1, 0)],
+                       np.zeros(2, dtype=np.uint64))

@@ -7,8 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hashing import (HrwHasher, MIX64, TR98, WeightedClassHrw,
-                           hash_mix64, hash_tr98, stable_digest)
+from repro.hashing import (HashFamily, HrwHasher, MIX64, TR98,
+                           WeightedClassHrw, hash_mix64, hash_tr98,
+                           stable_digest)
 
 
 class TestStableDigest:
@@ -220,3 +221,55 @@ class TestWeightedClassHrw:
             k = f"key-{i}"
             if grown.choose_class(k) != "victim2":
                 assert grown.choose_class(k) == base.choose_class(k)
+
+
+class TestBatchResolution:
+    """The vectorized callables behind the batch-first planner."""
+
+    def test_custom_family_batch_falls_back_to_scalar(self):
+        """A family without a vectorized callable must still batch (via the
+        scalar loop), not raise mid-run."""
+        fam = HashFamily("myfam", lambda s, d: (s * 31 + d) % 1009, 1009)
+        digests = np.arange(20, dtype=np.uint64)
+        out = fam.batch(7, digests)
+        assert out.tolist() == [(7 * 31 + d) % 1009 for d in range(20)]
+
+    def test_custom_family_drives_hasher(self):
+        fam = HashFamily("myfam", lambda s, d: (s ^ d) % 1009, 1009)
+        h = HrwHasher([f"n{i}" for i in range(5)], fam)
+        keys = [f"k{i}" for i in range(50)]
+        digests = np.array([stable_digest(k) for k in keys], dtype=np.uint64)
+        idx = h.place_batch(digests)
+        assert [h.nodes[i] for i in idx] == [h.place(k) for k in keys]
+
+    @pytest.mark.parametrize("family", [MIX64, TR98])
+    def test_rank_batch_matches_ranked(self, family):
+        nodes = [f"n{i}" for i in range(9)]
+        h = HrwHasher(nodes, family)
+        keys = [("stripe", 3, i) for i in range(100)]
+        digests = np.array([stable_digest(k) for k in keys], dtype=np.uint64)
+        order = h.rank_batch(digests)
+        for i, k in enumerate(keys):
+            assert [nodes[j] for j in order[i]] == h.ranked(k)
+
+    @pytest.mark.parametrize("family", [MIX64, TR98])
+    def test_class_rank_batch_matches_scores(self, family):
+        m = family.modulus
+        layer = WeightedClassHrw(
+            {"a": 0.0, "b": 0.4 * m, "c": float(m)}, family)
+        keys = [f"key-{i}" for i in range(100)]
+        digests = np.array([stable_digest(k) for k in keys], dtype=np.uint64)
+        order = layer.rank_batch(digests)
+        for i, k in enumerate(keys):
+            sc = layer.scores(k)
+            expect = sorted(layer.classes, key=lambda c: -sc[c])
+            assert [layer.classes[j] for j in order[i]] == expect
+
+    def test_score_batch_shape_and_dtype(self):
+        h = HrwHasher(["a", "b", "c"])
+        digests = np.arange(7, dtype=np.uint64)
+        scores = h.score_batch(digests)
+        assert scores.shape == (3, 7) and scores.dtype == np.uint64
+        layer = WeightedClassHrw({"x": 0.0, "y": 1.0})
+        cs = layer.score_batch(digests)
+        assert cs.shape == (2, 7) and cs.dtype == np.float64
