@@ -33,7 +33,10 @@ class Fabric:
         self.env = env
         self.net = FlowNetwork(env)
         self._loopback: dict[str, Link] = {}
+        self._ipoib_tx: dict[str, Link] = {}
+        self._ipoib_rx: dict[str, Link] = {}
         self._nodes: dict[str, Node] = {}
+        self._nominal: dict[str, float] = {}
 
     def attach(self, node: Node) -> None:
         """Create tx/rx/loopback/IPoIB links for *node* and register it.
@@ -49,8 +52,6 @@ class Fabric:
             raise ValueError(f"node {node.name!r} already attached")
         node.tx = self.net.add_link(f"{node.name}.tx", node.spec.nic_bandwidth)
         node.rx = self.net.add_link(f"{node.name}.rx", node.spec.nic_bandwidth)
-        self._ipoib_tx = getattr(self, "_ipoib_tx", {})
-        self._ipoib_rx = getattr(self, "_ipoib_rx", {})
         self._ipoib_tx[node.name] = self.net.add_link(
             f"{node.name}.itx", node.spec.ipoib_bandwidth)
         self._ipoib_rx[node.name] = self.net.add_link(
@@ -58,6 +59,8 @@ class Fabric:
         self._loopback[node.name] = self.net.add_link(
             f"{node.name}.lo", node.spec.memory_bandwidth)
         self._nodes[node.name] = node
+        for link in self.links_of(node.name):
+            self._nominal[link.name] = link.capacity
 
     def attach_all(self, nodes: Iterable[Node]) -> None:
         for n in nodes:
@@ -104,3 +107,36 @@ class Fabric:
         if src.name == dst.name:
             return 0.0
         return max(src.spec.nic_latency, dst.spec.nic_latency)
+
+    # -- fault hooks -------------------------------------------------------------
+    #: Capacity multiplier standing in for a total partition.  The fluid
+    #: model needs strictly positive capacities, so a partitioned node is
+    #: a link set throttled hard enough that every crossing flow stalls
+    #: past any sane client deadline.
+    PARTITION_FACTOR = 1e-9
+
+    def links_of(self, name: str) -> tuple[Link, ...]:
+        """Every NIC-side link of one node (tx/rx, IPoIB pair, loopback
+        excluded — a partitioned node can still talk to itself)."""
+        node = self._nodes[name]
+        assert node.tx is not None and node.rx is not None
+        return (node.tx, node.rx, self._ipoib_tx[name], self._ipoib_rx[name])
+
+    def degrade_node(self, name: str, factor: float):
+        """Scale one node's NIC capacities by *factor*; returns a
+        zero-argument callable restoring nominal capacity (idempotent)."""
+        if not 0.0 < factor:
+            raise ValueError("degradation factor must be positive")
+        links = self.links_of(name)
+        for link in links:
+            self.net.set_capacity(link, self._nominal[link.name] * factor)
+
+        def restore() -> None:
+            for link in links:
+                self.net.set_capacity(link, self._nominal[link.name])
+
+        return restore
+
+    def partition_node(self, name: str):
+        """Cut one node off the fabric; returns a heal callable."""
+        return self.degrade_node(name, self.PARTITION_FACTOR)

@@ -16,7 +16,8 @@ from ..cluster import (Cluster, Container, ResourceCaps, build_das5)
 from ..fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
 from ..hashing import own_victim_weights
 from ..sim import Environment
-from ..store import AuthPolicy, StoreCostModel, StoreServer
+from ..sim.rng import RngRegistry
+from ..store import AuthPolicy, RetryPolicy, StoreCostModel, StoreServer
 from ..tenants import InterferenceProbe
 from ..units import GB, MB
 from ..workflows import WorkflowEngine
@@ -39,6 +40,12 @@ class DeploymentConfig:
     write_window: int = 2
     password: str = "memfss-secret"
     seed: int = 0
+    # Store-client resilience posture: per-op deadline (seconds of
+    # virtual time), retry attempts over the default backoff policy, and
+    # the hedged-read delay (None disables hedging).
+    io_deadline: float | None = None
+    io_retries: int = 3
+    io_hedge: float | None = None
 
     def __post_init__(self):
         if self.n_own < 1:
@@ -52,9 +59,13 @@ class DeploymentConfig:
 class MemFSSDeployment:
     """A fully wired experiment: cluster + FS + scavenged victims."""
 
-    def __init__(self, config: DeploymentConfig = DeploymentConfig(),
+    def __init__(self, config: DeploymentConfig | None = None,
                  env: Environment | None = None):
+        # A shared mutable default instance would alias state across
+        # deployments; build a fresh config per call instead.
+        config = config if config is not None else DeploymentConfig()
         self.config = config
+        self.rng = RngRegistry(config.seed)
         self.cluster: Cluster = build_das5(
             env, n_nodes=config.n_own + config.n_victim, seed=config.seed)
         self.env = self.cluster.env
@@ -81,7 +92,12 @@ class MemFSSDeployment:
                          stripe_size=config.stripe_size,
                          replication=config.replication,
                          erasure=config.erasure,
-                         write_window=config.write_window)
+                         write_window=config.write_window,
+                         io_deadline=config.io_deadline,
+                         io_retry=RetryPolicy(attempts=max(
+                             1, config.io_retries)),
+                         io_hedge=config.io_hedge,
+                         rng=self.rng)
 
         # Tenant reservation: victims registered on the secondary queue
         # (admin-enforced cap, §III-A mechanism 2).

@@ -110,7 +110,7 @@ class BackgroundWorkload:
             server._sync_memory()
 
     def _loop(self):
-        from ..store import StoreError
+        from ..store import StoreError, StoreErrorCode
         eng = self.engine
         fs = self.deployment.fs
         agent = fs.own_nodes[0]
@@ -119,11 +119,16 @@ class BackgroundWorkload:
             try:
                 yield from eng.stage_in(wf)
                 yield from eng.run(wf)
-            except StoreError:
-                # A store filled up mid-iteration (placement imbalance on
-                # nearly-full victims).  The real system backpressures; we
-                # clean this iteration's files and carry on.
-                pass
+            except StoreError as exc:
+                # Mis-addressed requests would loop forever here; anything
+                # capacity- or availability-shaped (a store filled up on
+                # nearly-full victims, a victim died mid-iteration) is the
+                # expected churn of background load: the real system
+                # backpressures; we clean this iteration's files and
+                # carry on.
+                if exc.code in (StoreErrorCode.AUTH,
+                                StoreErrorCode.BAD_REQUEST):
+                    raise
             self.iterations += 1
             # Clear the iteration's files (the resident set stays).
             paths = yield from fs.list_all_files(agent)

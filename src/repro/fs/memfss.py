@@ -27,7 +27,9 @@ from ..cluster.network import Fabric
 from ..cluster.node import Node
 from ..hashing import ModuloPlacer
 from ..sim import Environment, FluidResource
-from ..store import StoreClient, StoreError, StoreServer
+from ..sim.rng import RngRegistry
+from ..store import (RetryPolicy, StoreClient, StoreError, StoreErrorCode,
+                     StoreServer)
 from ..units import GB
 from .erasure import group_layout, parity_key, reconstruct_size, xor_parity
 from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
@@ -69,7 +71,11 @@ class MemFSS:
                  erasure: tuple[int, int] | None = None,
                  write_window: int = 4,
                  fuse_bandwidth: float = 2 * GB,
-                 fuse_stream_cap: float = 1 * GB):
+                 fuse_stream_cap: float = 1 * GB,
+                 io_deadline: float | None = None,
+                 io_retry: RetryPolicy | None = None,
+                 io_hedge: float | None = None,
+                 rng: RngRegistry | None = None):
         if not own_nodes:
             raise ValueError("need at least one own node")
         if replication < 1:
@@ -98,8 +104,17 @@ class MemFSS:
         self.erasure = erasure
         self.write_window = write_window
         self.meta_placer = ModuloPlacer([n.name for n in own_nodes])
-        self._clients = {n.name: StoreClient(env, fabric, n, password)
-                         for n in own_nodes}
+        # Every mount shares one resilience posture: per-op deadline,
+        # retry policy and hedge delay become the clients' defaults, and
+        # backoff jitter draws from per-node streams of the deployment's
+        # registry so fault runs stay bit-reproducible.
+        self._clients = {
+            n.name: StoreClient(
+                env, fabric, n, password,
+                deadline=io_deadline, retry=io_retry, hedge=io_hedge,
+                rng=(rng.stream(f"store.client.{n.name}")
+                     if rng is not None else None))
+            for n in own_nodes}
         # The FUSE data path is a real per-node throughput limit: the
         # userspace daemon copies every byte, sustaining ~2 GB/s per node
         # and ~1 GB/s per stream (MemFS, FGCS 2015).  This cap — not the
@@ -303,7 +318,7 @@ class MemFSS:
         try:
             _n, raw = yield from client.get(server, file_meta_key(path))
         except StoreError as exc:
-            if exc.code == "missing":
+            if exc.code is StoreErrorCode.MISSING:
                 raise FileNotFound(path) from None
             raise
         return FileMeta.from_bytes(raw)
@@ -392,20 +407,22 @@ class MemFSS:
 
     def _read_stripe(self, client: StoreClient, plan, meta: FileMeta,
                      idx: int, batch: int = 1):
-        """Generator: fetch one stripe, walking the replica chain."""
+        """Generator: fetch one stripe, walking the replica chain.
+
+        The chain walk (misses, crashed stores, timeouts falling through
+        to the next rank, optional hedging) lives in
+        :meth:`~repro.store.client.StoreClient.get_any`; a fully
+        exhausted chain falls back to parity reconstruction.
+        """
         key = plan.keys[idx]
         chain = plan.chain(idx, k=max(self.replication, 3))
-        last_error: Exception | None = None
-        for target in chain:
-            server = self.servers.get(target)
-            if server is None:
-                continue
-            try:
-                return (yield from client.get(server, key, batch=batch))
-            except StoreError as exc:
-                if exc.code != "missing":
-                    raise
-                last_error = exc
+        try:
+            return (yield from client.get_any(
+                [self.servers.get(t) for t in chain], key, batch=batch))
+        except StoreError as exc:
+            if not exc.code.fallthrough:
+                raise
+            last_error = exc
         if meta.erasure is not None:
             return (yield from self._reconstruct_stripe(
                 client, plan, meta, idx))
@@ -448,15 +465,12 @@ class MemFSS:
     def _fetch_any(self, client: StoreClient, plan, idx: int):
         """Generator: get the plan's key *idx* from anywhere in its chain."""
         key = plan.keys[idx]
-        for target in plan.chain(idx, k=3):
-            server = self.servers.get(target)
-            if server is None:
-                continue
-            try:
-                return (yield from client.get(server, key))
-            except StoreError as exc:
-                if exc.code != "missing":
-                    raise
+        try:
+            return (yield from client.get_any(
+                [self.servers.get(t) for t in plan.chain(idx, k=3)], key))
+        except StoreError as exc:
+            if not exc.code.fallthrough:
+                raise
         raise FileNotFound(f"{key!r} unavailable on all replicas")
 
     def unlink(self, node: Node, path: str):
@@ -474,7 +488,9 @@ class MemFSS:
                 try:
                     yield from client.delete(server, key)
                 except StoreError as exc:
-                    if exc.code != "missing":
+                    # A replica that is missing the key — or is down and
+                    # losing it anyway — does not fail the unlink.
+                    if not exc.code.fallthrough:
                         raise
         yield from client.delete(self._meta_server(file_meta_key(path)),
                                  file_meta_key(path))

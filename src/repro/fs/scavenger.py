@@ -1,4 +1,4 @@
-"""Victim-class lifecycle: claiming leases, eviction, lazy migration.
+"""Victim-class lifecycle: claiming leases, eviction, lazy migration, repair.
 
 This module implements the dynamic side of §III: MemFSS "extends its
 storage space by scavenging for memory in victim cluster reservations".
@@ -15,6 +15,18 @@ The :class:`ScavengingManager`
   store is shut down.  Reads that race with an eviction still succeed
   because the read path already walks the rank chain (lazy movement,
   §V-C).
+
+Evacuations are serialized through a FIFO lock: two concurrent
+revocations that planned migrations independently could copy stripes onto
+each other's dying node, or migrate the same stripe twice.  Each
+revocation still leaves the placement policy *immediately* (new writes
+stop landing on any dying node at revocation time); only the data drain
+queues.
+
+The :class:`RepairDaemon` closes the remaining gap — crashes, where the
+data is simply gone: it periodically sweeps the registry, re-replicates
+under-replicated stripes from surviving replicas (or reconstructs them
+from parity), and rewrites stale membership snapshots.
 """
 
 from __future__ import annotations
@@ -22,14 +34,42 @@ from __future__ import annotations
 from ..cluster.container import Container, ResourceCaps
 from ..cluster.node import Node
 from ..cluster.reservation import ReservationSystem, ScavengeLease
-from ..sim import Environment
-from ..store import AuthPolicy, StoreCostModel, StoreError, StoreServer
-from .memfss import MemFSS
+from ..faults.stats import fault_stats
+from ..sim import Environment, Interrupt
+from ..store import (NO_RETRY, AuthPolicy, StoreCostModel, StoreError,
+                     StoreServer)
+from .erasure import group_layout, parity_key, xor_parity
+from .memfss import FileNotFound, MemFSS
 from .metadata import FileMeta, file_meta_key
 from .placement import PlacementPolicy
-from .striping import stripe_key
+from .striping import stripe_spans
 
-__all__ = ["ScavengingManager"]
+__all__ = ["ScavengingManager", "RepairDaemon"]
+
+
+class _FifoLock:
+    """Event-based FIFO mutex for simulation processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.locked = False
+        self._waiters: list = []
+
+    def acquire(self):
+        """Generator: returns holding the lock, in arrival order."""
+        if self.locked:
+            gate = self.env.event()
+            self._waiters.append(gate)
+            yield gate
+        else:
+            self.locked = True
+
+    def release(self) -> None:
+        if self._waiters:
+            # Hand the lock to the next waiter; it stays locked.
+            self._waiters.pop(0).succeed()
+        else:
+            self.locked = False
 
 
 class ScavengingManager:
@@ -38,18 +78,23 @@ class ScavengingManager:
     def __init__(self, env: Environment, fs: MemFSS,
                  reservations: ReservationSystem, *,
                  auth: AuthPolicy | None = None,
-                 costs: StoreCostModel = StoreCostModel(),
+                 costs: StoreCostModel | None = None,
                  caps: ResourceCaps | None = None):
         self.env = env
         self.fs = fs
         self.reservations = reservations
         self.auth = auth
-        self.costs = costs
+        # Per-instance default: a shared StoreCostModel instance would
+        # alias mutable tuning across every manager in the process.
+        self.costs = costs if costs is not None else StoreCostModel()
         self.caps = caps
         self.leases: dict[str, ScavengeLease] = {}
         self.evictions = 0
         self.migrated_bytes = 0.0
+        #: ``(key, source, target)`` of every migrated stripe, in order.
+        self.moved_keys: list[tuple] = []
         self._evacuating: set[str] = set()
+        self._evac_lock = _FifoLock(env)
 
     # -- acquiring victims ----------------------------------------------------------
     def scavenge(self, nodes: list[Node], memory_per_node: float,
@@ -97,6 +142,8 @@ class ScavengingManager:
         existing stripes are copied to the next live node in their
         *recorded* rank chain and each file's membership snapshot is
         rewritten so later reads go straight to the right place.
+        Concurrent evacuations queue on a FIFO lock, but all of them
+        leave the policy before the first one starts copying.
         """
         name = node.name
         server = self.fs.servers.get(name)
@@ -104,9 +151,32 @@ class ScavengingManager:
             return 0.0
         self._evacuating.add(name)
         self.evictions += 1
-        # 1. Stop placing new data on the node.
-        self.fs.policy = PlacementPolicy.intern(
-            self.fs.policy.without_node(name))
+        fault_stats.evacuations += 1
+        # 1. Stop placing new data on the node (before queueing).
+        if name in self.fs.policy.all_nodes:
+            self.fs.policy = PlacementPolicy.intern(
+                self.fs.policy.without_node(name))
+        yield from self._evac_lock.acquire()
+        try:
+            moved = yield from self._drain(node, server)
+        finally:
+            self._evac_lock.release()
+            self._evacuating.discard(name)
+        fault_stats.record_recovery(name, self.env.now)
+        return moved
+
+    def _live_policy(self, policy: PlacementPolicy) -> PlacementPolicy:
+        """*policy* restricted to nodes that can receive migrated data:
+        up, not mid-evacuation."""
+        out = policy
+        for n in policy.all_nodes:
+            if n in self._evacuating or n not in self.fs.servers:
+                out = out.without_node(n)
+        return PlacementPolicy.intern(out)
+
+    def _drain(self, node: Node, server: StoreServer):
+        """Generator: copy every stripe *node* holds to live replacements."""
+        name = node.name
         agent = self.fs.own_nodes[0]
         client = self.fs.client(agent)
         moved = 0.0
@@ -125,21 +195,23 @@ class ScavengingManager:
             # post-eviction placement instead of re-ranking per stripe.
             old_policy = PlacementPolicy.from_meta(meta,
                                                    self.fs.policy.family)
-            new_policy = PlacementPolicy.intern(
-                old_policy.without_node(name))
+            new_policy = self._live_policy(old_policy)
             old_plan = old_policy.plan_file(meta.inode, meta.n_stripes,
                                             erasure=meta.erasure)
             new_plan = new_policy.plan_file(meta.inode, meta.n_stripes,
                                             erasure=meta.erasure)
-            for idx in range(meta.n_stripes):
-                key = stripe_key(meta.inode, idx)
+            for idx in range(len(old_plan.keys)):
+                key = old_plan.keys[idx]
                 chain = old_plan.chain(idx, k=max(meta.replication, 1))
                 if name not in chain:
                     continue
                 try:
-                    nbytes, piece = yield from client.get(server, key)
+                    nbytes, piece = yield from client.get(server, key,
+                                                          retry=NO_RETRY)
                 except StoreError as exc:
-                    if exc.code == "missing":
+                    # Not here, or the server died mid-drain (the repair
+                    # daemon re-replicates what a dead store took down).
+                    if exc.code.fallthrough:
                         continue
                     raise
                 target = new_plan.primary(idx)
@@ -147,10 +219,13 @@ class ScavengingManager:
                     self.fs.servers[target], key,
                     nbytes=None if piece is not None else nbytes,
                     payload=piece)
+                self.moved_keys.append((key, name, target))
                 moved += nbytes
-            # 3. Rewrite the membership snapshot without the node.
+            # 3. Rewrite the membership snapshot: drop this node and any
+            # node that died since the file was written.
             meta.class_members = {
-                c: [m for m in members if m != name]
+                c: [m for m in members
+                    if m != name and m in self.fs.servers]
                 for c, members in meta.class_members.items()}
             yield from client.put(
                 self.fs._meta_server(file_meta_key(path)),
@@ -160,7 +235,6 @@ class ScavengingManager:
         self.fs.servers.pop(name, None)
         self.leases.pop(name, None)
         self.migrated_bytes += moved
-        self._evacuating.discard(name)
         return moved
 
     def withdraw(self, node: Node):
@@ -171,3 +245,199 @@ class ScavengingManager:
             # The watcher (if any) will also wake; evacuation is idempotent
             # because the server disappears from fs.servers.
         return (yield from self.evacuate(node))
+
+    # -- crashes ---------------------------------------------------------------------
+    def handle_crash(self, name: str) -> None:
+        """A store node died without warning.
+
+        Unlike a revocation there is nothing to drain — the bytes are
+        gone.  Drop the node from the policy and the server map so reads
+        fall through its rank chain, and leave re-replication to the
+        :class:`RepairDaemon`.
+        """
+        self.fs.servers.pop(name, None)
+        if name in self.fs.policy.all_nodes:
+            self.fs.policy = PlacementPolicy.intern(
+                self.fs.policy.without_node(name))
+        lease = self.leases.pop(name, None)
+        if lease is not None and lease.active:
+            # Wakes the watcher; its evacuate() no-ops (no server left).
+            lease.revoke("crashed")
+
+
+class RepairDaemon:
+    """Background re-replication restoring stripe redundancy.
+
+    Each sweep walks the file registry and checks every stripe (and
+    parity block) against its replica chain under the *live* membership.
+    A copy missing from the chain is refilled from any surviving holder,
+    falling back to parity reconstruction for erasure-coded data; files
+    whose recorded membership references dead nodes get their snapshot
+    rewritten so later reads place directly onto live nodes.  Sweeps take
+    the manager's evacuation lock, so repair never races a drain over the
+    same metadata.
+    """
+
+    def __init__(self, env: Environment, fs: MemFSS, *,
+                 manager: ScavengingManager | None = None,
+                 interval: float = 0.25, agent: Node | None = None):
+        self.env = env
+        self.fs = fs
+        self.manager = manager
+        self.interval = float(interval)
+        self.agent = agent if agent is not None else fs.own_nodes[0]
+        #: Unrepairable losses seen by the last sweep (second losses).
+        self.deficits = 0
+        self._proc = None
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self):
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run(), name="repair-daemon")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("repair daemon stopped")
+
+    def _run(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                yield from self.sweep()
+        except Interrupt:
+            return
+
+    # -- one pass --------------------------------------------------------------------
+    def sweep(self):
+        """Generator: one full repair pass; returns copies restored."""
+        fault_stats.repair_scans += 1
+        if self.manager is not None:
+            yield from self.manager._evac_lock.acquire()
+        try:
+            repaired = yield from self._sweep_locked()
+        finally:
+            if self.manager is not None:
+                self.manager._evac_lock.release()
+        if self.deficits == 0:
+            # Full redundancy everywhere: whatever faults were open are
+            # recovered as of now.
+            fault_stats.resolve_open(self.env.now)
+        return repaired
+
+    def _sweep_locked(self):
+        client = self.fs.client(self.agent)
+        repaired = 0
+        self.deficits = 0
+        paths = yield from self.fs.list_all_files(self.agent)
+        for path in paths:
+            try:
+                meta = yield from self.fs.stat(self.agent, path)
+            except FileNotFound:
+                continue
+            repaired += yield from self._repair_file(client, meta, path)
+        return repaired
+
+    def _repair_file(self, client, meta: FileMeta, path: str):
+        old_policy = PlacementPolicy.from_meta(meta, self.fs.policy.family)
+        dead = [n for n in old_policy.all_nodes
+                if n not in self.fs.servers]
+        live_policy = old_policy
+        for n in dead:
+            live_policy = live_policy.without_node(n)
+        live_policy = PlacementPolicy.intern(live_policy)
+        plan = live_policy.plan_file(meta.inode, meta.n_stripes,
+                                     erasure=meta.erasure)
+        want = max(meta.replication, 1)
+        # Parity blocks cannot be copied from a replica when lost, but
+        # they can be recomputed from their group's surviving data.
+        parity_info: dict[int, tuple[int, int, int]] = {}
+        if meta.erasure is not None:
+            k, m = meta.erasure
+            spans = stripe_spans(meta.size, meta.stripe_size)
+            for gi, (first, count) in enumerate(
+                    group_layout(meta.n_stripes, k)):
+                plen = max((spans[i].length
+                            for i in range(first, first + count)),
+                           default=0)
+                for j in range(m):
+                    pidx = plan.index_of(parity_key(meta.inode, gi, j))
+                    parity_info[pidx] = (first, count, plen)
+        fixed = 0
+        for idx in range(len(plan.keys)):
+            key = plan.keys[idx]
+            targets = plan.chain(idx, k=want)
+            missing = []
+            for t in targets:
+                server = self.fs.servers.get(t)
+                if server is None:
+                    continue
+                try:
+                    has = yield from client.exists(server, key,
+                                                   retry=NO_RETRY)
+                except StoreError as exc:
+                    if not exc.code.fallthrough:
+                        raise
+                    has = False
+                if not has:
+                    missing.append(t)
+            if not missing:
+                continue
+            # Source: any live holder anywhere in the full rank chain.
+            nbytes = piece = None
+            found = False
+            for t in plan.chain(idx):
+                server = self.fs.servers.get(t)
+                if server is None or t in missing:
+                    continue
+                try:
+                    nbytes, piece = yield from client.get(server, key,
+                                                          retry=NO_RETRY)
+                    found = True
+                    break
+                except StoreError as exc:
+                    if not exc.code.fallthrough:
+                        raise
+            if not found and meta.erasure is not None \
+                    and idx < meta.n_stripes:
+                try:
+                    nbytes, piece = yield from self.fs._reconstruct_stripe(
+                        client, plan, meta, idx)
+                    found = True
+                except FileNotFound:
+                    found = False
+            if not found and idx in parity_info:
+                first, count, plen = parity_info[idx]
+                group: list = []
+                for sib in range(first, first + count):
+                    try:
+                        _nb, p = yield from self.fs._fetch_any(client, plan,
+                                                               sib)
+                    except FileNotFound:
+                        group = None
+                        break
+                    group.append(p)
+                if group is not None:
+                    piece = (xor_parity(group)
+                             if all(p is not None for p in group) else None)
+                    nbytes = float(plen)
+                    found = True
+            if not found:
+                self.deficits += 1
+                continue
+            for t in missing:
+                yield from client.put(
+                    self.fs.servers[t], key,
+                    nbytes=None if piece is not None else nbytes,
+                    payload=piece)
+                fixed += 1
+                fault_stats.stripes_repaired += 1
+                fault_stats.repaired_bytes += float(nbytes)
+        if dead:
+            meta.class_members = {
+                c: [m for m in members if m in self.fs.servers]
+                for c, members in meta.class_members.items()}
+            yield from client.put(
+                self.fs._meta_server(file_meta_key(path)),
+                file_meta_key(path), payload=meta.to_bytes())
+        return fixed

@@ -1,5 +1,7 @@
 """Utilization summaries and text rendering for tables/figures."""
 
+from .faults import (attach_fault_probes, fault_counters,
+                     render_fault_report)
 from .placement import attach_placement_probes, placement_counters
 from .report import fmt_pct, render_bars, render_table
 from .utilization import NodeUtilization, class_utilization, node_utilization
@@ -8,4 +10,5 @@ __all__ = [
     "render_table", "render_bars", "fmt_pct",
     "NodeUtilization", "node_utilization", "class_utilization",
     "placement_counters", "attach_placement_probes",
+    "fault_counters", "attach_fault_probes", "render_fault_report",
 ]

@@ -1,0 +1,58 @@
+"""Fault/recovery observability.
+
+The robustness layer (:mod:`repro.faults`) keeps process-wide counters —
+faults injected per kind, client retries/hedges/timeouts, degraded
+reads, evacuations and repaired stripes, plus the MTTR derived from
+matched fault→recovery pairs.  This module exposes them as plain
+snapshots for reports and as :class:`~repro.sim.monitor.Monitor` probes
+so experiment runs can chart recovery activity next to CPU/NIC
+utilization.
+"""
+
+from __future__ import annotations
+
+from ..faults.stats import fault_stats
+from ..sim.monitor import Monitor, TimeSeries
+from .report import render_table
+
+__all__ = ["fault_counters", "attach_fault_probes", "render_fault_report"]
+
+#: The counters worth charting over time (all cumulative).
+_PROBE_FIELDS = ("faults_injected", "revocations", "crashes",
+                 "retries", "hedged_reads", "timeouts", "degraded_reads",
+                 "evacuations", "recoveries", "stripes_repaired",
+                 "repaired_bytes")
+
+
+def fault_counters() -> dict[str, float]:
+    """Current robustness counters (cumulative since last reset),
+    including ``open_faults`` and the running ``mttr_s``."""
+    return fault_stats.snapshot()
+
+
+def attach_fault_probes(monitor: Monitor, prefix: str = "faults",
+                        ) -> dict[str, TimeSeries]:
+    """Sample every fault counter as a ``<prefix>.<field>`` time series.
+
+    Counters are cumulative; diff consecutive samples for rates.  The
+    extra ``<prefix>.open_faults`` probe is a gauge (currently-unrepaired
+    fault sites), and ``<prefix>.mttr_s`` tracks the running mean time to
+    recovery.
+    """
+    probes = {
+        f"{prefix}.{field}": (lambda f=field:
+                              float(getattr(fault_stats, f)))
+        for field in _PROBE_FIELDS}
+    probes[f"{prefix}.open_faults"] = \
+        lambda: float(len(fault_stats.open_faults))
+    probes[f"{prefix}.mttr_s"] = lambda: fault_stats.mttr()
+    return monitor.add_probes(probes)
+
+
+def render_fault_report(title: str = "fault/recovery counters") -> str:
+    """The non-zero fault counters as a fixed-width text table."""
+    rows = [(name, f"{value:.6g}")
+            for name, value in fault_counters().items() if value]
+    if not rows:
+        rows = [("(no faults recorded)", "")]
+    return render_table(("counter", "value"), rows, title=title)

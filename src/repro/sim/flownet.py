@@ -150,6 +150,22 @@ class FlowNetwork:
     def link(self, name: str) -> Link:
         return self._links[name]
 
+    def set_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity and re-fair-share every active flow.
+
+        This is the fabric-fault primitive: a degraded NIC (or a
+        partition, capacity ≈ 0) immediately slows every flow crossing the
+        link, which is what makes client deadlines fire.
+        """
+        if capacity <= 0:
+            raise SimulationError(
+                f"link {link.name!r}: capacity must be positive")
+        if self._links.get(link.name) is not link:
+            raise SimulationError(f"link {link.name!r} not in this network")
+        self._settle()
+        link.capacity = float(capacity)
+        self._rebalance()
+
     @property
     def links(self) -> tuple[Link, ...]:
         return tuple(self._links.values())

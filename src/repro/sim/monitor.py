@@ -55,6 +55,11 @@ class TimeSeries:
     def max(self) -> float:
         return float(np.max(self.values)) if self.values else 0.0
 
+    def last(self) -> float:
+        """The most recent sample (0.0 when nothing was sampled yet) —
+        the natural reading for cumulative-counter probes."""
+        return float(self.values[-1]) if self.values else 0.0
+
     def percentile(self, q: float) -> float:
         return float(np.percentile(self.values, q)) if self.values else 0.0
 

@@ -2,13 +2,16 @@
 
 from .kvstore import KVStore, KeyMissing, StoreFull
 from .auth import AuthError, AuthPolicy
-from .protocol import Op, RateTracker, Request, Response, StoreCostModel
-from .server import StoreError, StoreServer
+from .protocol import (NO_RETRY, Op, RateTracker, Request, Response,
+                       RetryPolicy, StoreCostModel, StoreError,
+                       StoreErrorCode)
+from .server import StoreServer
 from .client import StoreClient
 
 __all__ = [
     "KVStore", "KeyMissing", "StoreFull",
     "AuthPolicy", "AuthError",
     "Op", "Request", "Response", "StoreCostModel", "RateTracker",
-    "StoreServer", "StoreError", "StoreClient",
+    "StoreErrorCode", "StoreError", "RetryPolicy", "NO_RETRY",
+    "StoreServer", "StoreClient",
 ]

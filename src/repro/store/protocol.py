@@ -1,4 +1,13 @@
-"""Request/response types and cost model for the store protocol."""
+"""Request/response types, error taxonomy and cost model for the store
+protocol.
+
+Failures travel as a typed :class:`StoreErrorCode` on the
+:class:`Response` (and on the :class:`StoreError` raised client-side), so
+policy decisions — retry? walk the replica chain? give up? — are driven by
+the taxonomy instead of string parsing.  The legacy prefix-encoded
+``Response.error`` string (``"full: ..."``) survives as a deprecation shim
+for callers that still split on ``":"``.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +18,8 @@ from typing import Any, Hashable
 
 from ..units import GB
 
-__all__ = ["Op", "Request", "Response", "StoreCostModel", "RateTracker"]
+__all__ = ["Op", "Request", "Response", "StoreCostModel", "RateTracker",
+           "StoreErrorCode", "StoreError", "RetryPolicy", "NO_RETRY"]
 
 
 class Op(enum.Enum):
@@ -43,11 +53,147 @@ class Request:
     client_node: str = ""
 
 
-@dataclass
+class StoreErrorCode(str, enum.Enum):
+    """Why a store request failed.
+
+    A ``str`` subclass so legacy comparisons against the old prefix
+    strings (``exc.code == "missing"``) keep working during migration.
+    """
+
+    AUTH = "auth"                # AUTH policy rejected the request
+    FULL = "full"                # store / container / node out of memory
+    MISSING = "missing"          # key not present on this server
+    BAD_REQUEST = "bad-request"  # malformed request (type/size errors)
+    UNAVAILABLE = "unavailable"  # server crashed / gone / unreachable
+    TIMEOUT = "timeout"          # client-side deadline expired
+
+    @property
+    def retryable(self) -> bool:
+        """May the *same* request be retried (same server) with any hope?
+
+        Timeouts and crashes are transient; a missing key, a full store,
+        or a rejected request will fail identically on retry — those are
+        handled by walking the replica chain, not by retrying.
+        """
+        return self in _RETRYABLE
+
+    @property
+    def fallthrough(self) -> bool:
+        """Should a chain read fall through to the next replica?"""
+        return self in _FALLTHROUGH
+
+
+_RETRYABLE = frozenset({StoreErrorCode.TIMEOUT, StoreErrorCode.UNAVAILABLE})
+_FALLTHROUGH = frozenset({StoreErrorCode.MISSING, StoreErrorCode.UNAVAILABLE,
+                          StoreErrorCode.TIMEOUT})
+
+
+class StoreError(RuntimeError):
+    """A store request failed; :attr:`code` carries the typed cause."""
+
+    def __init__(self, code: StoreErrorCode | str, message: str = ""):
+        if not isinstance(code, StoreErrorCode):
+            code = StoreErrorCode(code)
+        super().__init__(f"{code.value}: {message}" if message
+                         else code.value)
+        self.code = code
+        self.message = message
+
+    @property
+    def retryable(self) -> bool:
+        return self.code.retryable
+
+
 class Response:
-    ok: bool
-    value: Any = None
-    error: str = ""
+    """Outcome of one request.
+
+    Failures carry a :class:`StoreErrorCode` in :attr:`code` plus a plain
+    :attr:`message`.  The legacy ``error`` surface — a prefix-encoded
+    string like ``"full: out of memory"`` that callers used to
+    ``split(":", 1)`` — is kept as a read/write deprecation shim.
+    """
+
+    __slots__ = ("ok", "value", "code", "message")
+
+    def __init__(self, ok: bool, value: Any = None,
+                 code: StoreErrorCode | str | None = None,
+                 message: str = "", error: str = ""):
+        self.ok = ok
+        self.value = value
+        if code is not None and not isinstance(code, StoreErrorCode):
+            code = StoreErrorCode(code)
+        if code is None and error:
+            # Legacy construction: parse the old "code: message" shape.
+            prefix, _, rest = error.partition(":")
+            try:
+                code = StoreErrorCode(prefix.strip())
+                message = message or rest.strip()
+            except ValueError:
+                code = StoreErrorCode.BAD_REQUEST
+                message = message or error
+        self.code = code
+        self.message = message
+
+    @property
+    def error(self) -> str:
+        """Deprecated prefix-encoded error string (old wire shape)."""
+        if self.code is None:
+            return self.message
+        return f"{self.code.value}: {self.message}"
+
+    def raise_for_status(self) -> None:
+        """Raise the matching :class:`StoreError` if the request failed."""
+        if not self.ok:
+            raise StoreError(self.code or StoreErrorCode.BAD_REQUEST,
+                             self.message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ok:
+            return f"Response(ok=True, value={self.value!r})"
+        return f"Response(ok=False, code={self.code!r}, " \
+               f"message={self.message!r})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    Delays are drawn through the caller's seeded ``sim.rng`` stream (never
+    the global ``random`` module) so retry timing is reproducible
+    bit-for-bit.  ``attempts`` counts total tries, so ``attempts=1``
+    disables retrying.
+    """
+
+    attempts: int = 3
+    base_delay: float = 1e-3      # first backoff, seconds
+    multiplier: float = 2.0       # exponential growth per attempt
+    max_delay: float = 0.25       # backoff ceiling
+    jitter: float = 0.5           # +/- fraction of the delay randomized
+    retry_on: frozenset = _RETRYABLE
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def should_retry(self, code: StoreErrorCode, attempt: int) -> bool:
+        """True if try number *attempt* (1-based) may be followed by another."""
+        return attempt < self.attempts and code in self.retry_on
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before try ``attempt + 1`` (attempt is 1-based)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        if rng is not None and self.jitter > 0 and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+#: Retry disabled: single attempt, no backoff.
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 @dataclass(frozen=True)

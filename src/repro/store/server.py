@@ -27,19 +27,12 @@ from ..cluster.node import Node, OutOfMemory
 from ..sim import Environment, FluidResource
 from .auth import AuthError, AuthPolicy
 from .kvstore import KVStore, KeyMissing, StoreFull
-from .protocol import Op, RateTracker, Request, Response, StoreCostModel
+from .protocol import (Op, RateTracker, Request, Response, StoreCostModel,
+                       StoreError, StoreErrorCode)
 
 __all__ = ["StoreServer", "StoreError"]
 
 _ids = itertools.count()
-
-
-class StoreError(RuntimeError):
-    """A request failed at the server (code mirrors the cause)."""
-
-    def __init__(self, code: str, message: str):
-        super().__init__(f"{code}: {message}")
-        self.code = code
 
 
 class StoreServer:
@@ -49,14 +42,16 @@ class StoreServer:
                  capacity: float, name: str | None = None,
                  auth: AuthPolicy | None = None,
                  container: Container | None = None,
-                 costs: StoreCostModel = StoreCostModel()):
+                 costs: StoreCostModel | None = None):
         self.env = env
         self.node = node
         self.fabric = fabric
         self.name = name or f"store{next(_ids)}@{node.name}"
         self.auth = auth
         self.container = container
-        self.costs = costs
+        # Default built per instance: a dataclass-instance default would be
+        # one shared object across all servers (audited repo-wide).
+        self.costs = costs = costs if costs is not None else StoreCostModel()
         if container is not None:
             capacity = min(capacity, container.caps.memory)
         self.kv = KVStore(capacity, key_overhead=costs.key_overhead)
@@ -69,6 +64,7 @@ class StoreServer:
                                   name=f"{self.name}.loop")
         self.request_rate = RateTracker()
         self.requests_served = 0
+        self.crashed = False
         self._mem_owner = f"store:{self.name}"
         self._accounted = 0.0
 
@@ -117,11 +113,17 @@ class StoreServer:
         Call as ``resp = yield from server.serve(req, my_node)`` — normally
         through :class:`~repro.store.client.StoreClient`.
         """
+        if self.crashed:
+            # The store process is dead: requests bounce immediately (the
+            # client's chain walk / retry policy decides what happens next).
+            return Response(ok=False, code=StoreErrorCode.UNAVAILABLE,
+                            message=f"{self.name} is down")
         if self.auth is not None:
             try:
                 self.auth.check(request.password, client_node.name)
             except AuthError as exc:
-                return Response(ok=False, error=f"auth: {exc}")
+                return Response(ok=False, code=StoreErrorCode.AUTH,
+                                message=str(exc))
         batch = max(1, int(request.batch))
         self.request_rate.record(self.env.now, count=batch)
         self.requests_served += batch
@@ -137,16 +139,19 @@ class StoreServer:
                             payload=request.payload)
                 self._sync_memory()
             except (StoreFull, CapExceeded, OutOfMemory) as exc:
-                return Response(ok=False, error=f"full: {exc}")
+                return Response(ok=False, code=StoreErrorCode.FULL,
+                                message=str(exc))
             except ValueError as exc:
-                return Response(ok=False, error=f"bad-request: {exc}")
+                return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
+                                message=str(exc))
             return Response(ok=True, value=size)
 
         if op is Op.GET:
             try:
                 nbytes, payload = self.kv.get(request.key)
             except KeyMissing:
-                return Response(ok=False, error=f"missing: {request.key!r}")
+                return Response(ok=False, code=StoreErrorCode.MISSING,
+                                message=repr(request.key))
             yield from self._pay_costs(nbytes, src=self.node, dst=client_node,
                                        batch=batch)
             return Response(ok=True, value=(nbytes, payload))
@@ -156,7 +161,8 @@ class StoreServer:
                 released = self.kv.delete(request.key)
                 self._sync_memory()
             except KeyMissing:
-                return Response(ok=False, error=f"missing: {request.key!r}")
+                return Response(ok=False, code=StoreErrorCode.MISSING,
+                                message=repr(request.key))
             yield from self._pay_costs(0.0, src=client_node, dst=self.node)
             return Response(ok=True, value=released)
 
@@ -180,9 +186,11 @@ class StoreServer:
                 added = self.kv.sadd(request.key, request.member or "")
                 self._sync_memory()
             except (StoreFull, CapExceeded, OutOfMemory) as exc:
-                return Response(ok=False, error=f"full: {exc}")
+                return Response(ok=False, code=StoreErrorCode.FULL,
+                                message=str(exc))
             except TypeError as exc:
-                return Response(ok=False, error=f"bad-request: {exc}")
+                return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
+                                message=str(exc))
             return Response(ok=True, value=added)
 
         if op is Op.SREM:
@@ -191,7 +199,8 @@ class StoreServer:
                 removed = self.kv.srem(request.key, request.member or "")
                 self._sync_memory()
             except TypeError as exc:
-                return Response(ok=False, error=f"bad-request: {exc}")
+                return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
+                                message=str(exc))
             return Response(ok=True, value=removed)
 
         if op is Op.SMEMBERS:
@@ -199,10 +208,12 @@ class StoreServer:
             try:
                 members = self.kv.smembers(request.key)
             except TypeError as exc:
-                return Response(ok=False, error=f"bad-request: {exc}")
+                return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
+                                message=str(exc))
             return Response(ok=True, value=members)
 
-        return Response(ok=False, error=f"bad-request: unknown op {op}")
+        return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
+                        message=f"unknown op {op}")
 
     def _pay_costs(self, nbytes: float, src: Node, dst: Node,
                    batch: int = 1):
@@ -243,6 +254,23 @@ class StoreServer:
             raise
 
     # -- lifecycle ---------------------------------------------------------------
+    def crash(self) -> float:
+        """Kill the store process: contents are lost, requests bounce.
+
+        Models a victim-side store being OOM-killed or its node failing
+        (the fault injector's crash events).  Memory is released back to
+        the node — the process is gone — and every subsequent request gets
+        :data:`StoreErrorCode.UNAVAILABLE` until :meth:`restart`.
+        """
+        released = self.kv.flush()
+        self._sync_memory()
+        self.crashed = True
+        return released
+
+    def restart(self) -> None:
+        """Bring the (empty) store back up after a crash."""
+        self.crashed = False
+
     def shutdown(self) -> float:
         """Flush the store and release all accounted memory."""
         released = self.kv.flush()

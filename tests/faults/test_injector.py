@@ -1,0 +1,231 @@
+"""Tests for the deterministic fault injector and its schedule DSL."""
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.faults import (FaultEvent, FaultInjector, FaultSchedule,
+                          fault_stats, revocation_storm)
+from repro.fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from repro.hashing import own_victim_weights
+from repro.sim.rng import RngRegistry
+from repro.store import StoreServer
+from repro.units import GB
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    fault_stats.reset()
+    yield
+    fault_stats.reset()
+
+
+def build_rig(n_own=2, n_victim=4, alpha=0.25, replication=1):
+    cluster = build_das5(n_nodes=n_own + n_victim)
+    env = cluster.env
+    res = cluster.reservations
+    own = list(res.reserve("memfss-user", n_own).nodes)
+    servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
+               for n in own}
+    weights = own_victim_weights(alpha)
+    policy = PlacementPolicy(
+        {"own": ClassSpec(weights["own"], tuple(n.name for n in own))})
+    fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64,
+                replication=replication)
+    tenant = res.reserve("tenant", n_victim)
+    for node in tenant.nodes:
+        res.register_offer(node, 2 * GB, owner="tenant")
+    mgr = ScavengingManager(env, fs, res)
+    mgr.scavenge(tenant.nodes, 2 * GB, weights["victim"])
+    return cluster, fs, mgr, own, list(tenant.nodes)
+
+
+def run(cluster, gen):
+    proc = cluster.env.process(gen)
+    return cluster.env.run(until=proc)
+
+
+class TestScheduleDsl:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="meteor")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, kind="crash")
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="revoke_storm", fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="degrade", duration=-1.0)
+
+    def test_schedule_sorts_by_time(self):
+        sched = FaultSchedule((FaultEvent(at=2.0, kind="crash"),
+                               FaultEvent(at=1.0, kind="revoke")))
+        assert [e.at for e in sched] == [1.0, 2.0]
+        assert len(sched) == 2
+
+    def test_extended(self):
+        sched = revocation_storm(at=1.0, fraction=0.5)
+        bigger = sched.extended(FaultEvent(at=0.5, kind="crash"))
+        assert len(bigger) == 2 and bigger.events[0].kind == "crash"
+
+    def test_revocation_storm_helper(self):
+        sched = revocation_storm(at=3.0, fraction=0.25)
+        (ev,) = sched.events
+        assert ev.kind == "revoke_storm" and ev.fraction == 0.25
+
+
+class TestRevocationStorm:
+    def test_storm_revokes_fraction_and_data_survives(self):
+        cluster, fs, mgr, own, victims = build_rig()
+        blobs = {}
+        for i in range(10):
+            blob = bytes((7 * i + j) % 256 for j in range(640))
+            run(cluster, fs.write_file(own[0], f"/f{i}", payload=blob))
+            blobs[f"/f{i}"] = blob
+        inj = FaultInjector(cluster.env, revocation_storm(at=0.01,
+                                                          fraction=0.5),
+                            manager=mgr,
+                            reservations=cluster.reservations,
+                            rng=RngRegistry(7))
+        inj.start()
+        cluster.env.run()
+        assert fault_stats.revocations == 2     # half of 4 victims
+        assert mgr.evictions == 2
+        assert len(fs.servers) == len(own) + 2
+        assert len(inj.log) == 1
+        _t, kind, names = inj.log[0]
+        assert kind == "revoke_storm" and len(names) == 2
+        for path, blob in blobs.items():
+            _n, back = run(cluster, fs.read_file(own[0], path))
+            assert back == blob, path
+
+    def test_storm_is_bit_reproducible(self):
+        logs = []
+        for _ in range(2):
+            fault_stats.reset()
+            cluster, fs, mgr, own, victims = build_rig()
+            for i in range(6):
+                run(cluster, fs.write_file(own[0], f"/f{i}",
+                                           payload=bytes(640)))
+            inj = FaultInjector(cluster.env,
+                                revocation_storm(at=0.01, fraction=0.5),
+                                manager=mgr,
+                                reservations=cluster.reservations,
+                                rng=RngRegistry(1234))
+            inj.start()
+            cluster.env.run()
+            logs.append((tuple(inj.log), tuple(sorted(fs.servers))))
+        assert logs[0] == logs[1]
+
+    def test_different_seeds_may_pick_other_victims(self):
+        picks = set()
+        for seed in range(8):
+            cluster, fs, mgr, own, victims = build_rig()
+            inj = FaultInjector(
+                cluster.env,
+                FaultSchedule((FaultEvent(at=0.0, kind="revoke",
+                                          cause="test"),)),
+                manager=mgr, reservations=cluster.reservations,
+                rng=RngRegistry(seed))
+            inj.start()
+            cluster.env.run()
+            picks.add(inj.log[0][2])
+        assert len(picks) > 1
+
+
+class TestCrashFaults:
+    def test_crash_downs_server_and_updates_policy(self):
+        cluster, fs, mgr, own, victims = build_rig(replication=2)
+        for i in range(6):
+            run(cluster, fs.write_file(own[0], f"/f{i}", payload=bytes(640)))
+        target = victims[0]
+        sched = FaultSchedule((FaultEvent(at=0.01, kind="crash",
+                                          target=target.name),))
+        inj = FaultInjector(cluster.env, sched,
+                            servers=lambda: fs.servers, manager=mgr)
+        inj.start()
+        cluster.env.run()
+        assert fault_stats.crashes == 1
+        assert target.name not in fs.servers
+        assert target.name not in fs.policy.all_nodes
+        assert fault_stats.open_faults == (target.name,)
+
+
+class TestFabricFaults:
+    def test_degrade_and_auto_restore(self):
+        cluster, fs, mgr, own, victims = build_rig()
+        fabric = cluster.fabric
+        target = victims[0]
+        nominal = [l.capacity for l in fabric.links_of(target.name)]
+        sched = FaultSchedule((FaultEvent(at=0.0, kind="degrade",
+                                          target=target.name, factor=0.1,
+                                          duration=1.0),))
+        inj = FaultInjector(cluster.env, sched, fabric=fabric)
+        inj.start()
+
+        def probe():
+            yield cluster.env.timeout(0.5)
+            mid = [l.capacity for l in fabric.links_of(target.name)]
+            yield cluster.env.timeout(1.0)
+            after = [l.capacity for l in fabric.links_of(target.name)]
+            return mid, after
+
+        mid, after = run(cluster, probe())
+        assert mid == [c * 0.1 for c in nominal]
+        assert after == nominal
+        assert fault_stats.link_degradations == 1
+
+    def test_partition_throttles_to_epsilon(self):
+        cluster, fs, mgr, own, victims = build_rig()
+        fabric = cluster.fabric
+        target = victims[0]
+        nominal = [l.capacity for l in fabric.links_of(target.name)]
+        sched = FaultSchedule((FaultEvent(at=0.0, kind="partition",
+                                          target=target.name,
+                                          duration=0.5),))
+        inj = FaultInjector(cluster.env, sched, fabric=fabric)
+        inj.start()
+
+        def probe():
+            yield cluster.env.timeout(0.1)
+            return [l.capacity for l in fabric.links_of(target.name)]
+
+        cut = run(cluster, probe())
+        assert all(c <= n * 1e-6 for c, n in zip(cut, nominal))
+        cluster.env.run()
+        assert [l.capacity
+                for l in fabric.links_of(target.name)] == nominal
+        assert fault_stats.partitions == 1
+
+
+class TestPressureWaves:
+    def test_wave_claims_and_releases_memory(self):
+        cluster, fs, mgr, own, victims = build_rig()
+        target = victims[0]
+        free_before = target.memory_free
+        sched = FaultSchedule((FaultEvent(at=0.0, kind="pressure_wave",
+                                          target=target.name, factor=0.25,
+                                          duration=1.0),))
+        inj = FaultInjector(cluster.env, sched,
+                            nodes=victims)
+        inj.start()
+
+        def probe():
+            yield cluster.env.timeout(0.5)
+            during = target.memory_free
+            yield cluster.env.timeout(1.0)
+            return during, target.memory_free
+
+        during, after = run(cluster, probe())
+        assert during < free_before
+        assert after == free_before
+        assert fault_stats.pressure_waves == 1
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        cluster, *_ = build_rig(n_victim=1)
+        inj = FaultInjector(cluster.env, FaultSchedule())
+        inj.start()
+        with pytest.raises(RuntimeError):
+            inj.start()
