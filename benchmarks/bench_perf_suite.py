@@ -1,0 +1,220 @@
+"""Tracked solver perf suite: incremental vs. the retained reference path.
+
+Times three representative scenarios twice in the same run — once with the
+component-aware incremental solver and once with the pre-PR reference
+solver (global synchronous progressive filling, retained as
+``DeploymentConfig(solver="reference")``):
+
+* **fig2_baseline** — the Fig. 2-shaped dd bag (the repo's hottest shape:
+  every stripe fan-out rebalances the victim NICs),
+* **hpcc_under_montage** — the HPCC tenant suite with the Montage
+  scavenging workload underneath (Fig. 3's contention channel),
+* **fault_storm** — the §V-C revocation storm over a replicated
+  population (bursts of evacuations + repairs).
+
+Each scenario must produce **byte-identical simulated outputs** in both
+modes (runtimes, NIC figures, monitor series, fault counters); the suite
+asserts that, reports the solver counters from :data:`flownet_stats`, and
+fails if the Fig. 2-shaped scenario is not ≥ 5× faster end-to-end under
+the incremental solver.  Counter budgets for the smoke lane live in
+``perf_budget.json`` — counter-based, so the CI gate is stable on shared
+runners (wall-clock is reported, only asserted on the full run).
+
+Results land in ``results/perf-suite.json`` (or ``-smoke``) and
+``BENCH_perf.json`` at the repo root, the perf trajectory later PRs
+regress against.  ``PERF_SMOKE=1`` shrinks every scenario for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _harness import load_cached, save_cached
+from repro.core import DeploymentConfig, MemFSSDeployment
+from repro.core.experiment import baseline_run
+from repro.core.slowdown import BackgroundWorkload, _run_suite
+from repro.faults import FaultInjector, fault_stats, revocation_storm
+from repro.metrics import render_table
+from repro.sim import flownet_stats
+from repro.tenants import hpcc_suite
+from repro.units import GB, MB
+from repro.workflows import montage
+
+SMOKE = os.environ.get("PERF_SMOKE") == "1"
+KEY = "perf-suite-smoke" if SMOKE else "perf-suite"
+ROOT = Path(__file__).resolve().parent.parent
+BUDGET = json.loads((Path(__file__).parent / "perf_budget.json").read_text())
+
+SOLVERS = ("incremental", "reference")
+
+# Scenario scales (reduced but shape-preserving under PERF_SMOKE).
+FIG2_TASKS = 48 if SMOKE else 256
+FIG2_FILE = 32 * MB if SMOKE else 1024 * MB
+HPCC_SCALE = 0.15 if SMOKE else 0.4
+HPCC_WARMUP = 5.0 if SMOKE else 15.0
+STORM_FILES = 6 if SMOKE else 12
+STORM_FILE_SIZE = 4 * MB
+STORM_AT = 0.05
+SEED = 1913
+
+
+def _fig2(solver: str) -> dict:
+    m = baseline_run(alpha=0.25, n_tasks=FIG2_TASKS, file_size=FIG2_FILE,
+                     config=DeploymentConfig(solver=solver),
+                     keep_series=True)
+    times, values = m.series["victim.rx"]
+    return {
+        "runtime_s": m.runtime_s,
+        "own_cpu": m.own_cpu, "own_tx": m.own_tx, "own_rx": m.own_rx,
+        "victim_rx": m.victim_rx,
+        "victim_rx_bytes_s": m.victim_rx_bytes_s,
+        "peak_victim_rx": m.peak_victim_rx,
+        "victim_rx_series": [list(map(float, times)),
+                             list(map(float, values))],
+    }
+
+
+def _hpcc_under_montage(solver: str) -> dict:
+    cfg = DeploymentConfig(alpha=0.25, stripe_size=64 * MB, solver=solver)
+    dep = MemFSSDeployment(cfg)
+    background = BackgroundWorkload(
+        dep, lambda i: montage(width=96, compute_scale=0.02,
+                               parallel_task_scale=2.0))
+    background.start()
+    dep.env.run(until=dep.env.now + HPCC_WARMUP)
+    times = _run_suite(dep, hpcc_suite(HPCC_SCALE))
+    background.stop()
+    return {"runtimes_s": times}
+
+
+def _fault_storm(solver: str) -> dict:
+    fault_stats.reset()
+    cfg = DeploymentConfig(n_own=2, n_victim=8, alpha=0.25,
+                           victim_memory=2 * GB, own_store_capacity=8 * GB,
+                           stripe_size=1 * MB, replication=2, seed=SEED,
+                           io_retries=4, solver=solver)
+    dep = MemFSSDeployment(cfg)
+    env, fs, agent = dep.env, dep.fs, dep.own[0]
+    injector = FaultInjector(
+        env, revocation_storm(at=STORM_AT, fraction=0.5),
+        manager=dep.manager, reservations=dep.cluster.reservations,
+        rng=dep.rng)
+    injector.start()
+    blob = b"\x5a" * STORM_FILE_SIZE
+    paths = [f"/bench/f{i}" for i in range(STORM_FILES)]
+
+    def driver():
+        t0 = env.now
+        for path in paths:
+            yield from fs.write_file(agent, path, payload=blob)
+        losses = 0
+        for path in paths:
+            _n, back = yield from fs.read_file(agent, path)
+            losses += back != blob
+        return env.now - t0, losses
+
+    proc = env.process(driver())
+    runtime, losses = env.run(until=proc)
+    env.run()  # drain in-flight evacuations
+    return {
+        "runtime_s": runtime,
+        "data_losses": losses,
+        "fault_counters": fault_stats.snapshot(),
+        "injected": [[t, kind, list(names)]
+                     for t, kind, names in injector.log],
+    }
+
+
+SCENARIOS = {
+    "fig2_baseline": (_fig2, {"alpha": 0.25, "n_tasks": FIG2_TASKS,
+                              "file_mb": FIG2_FILE / MB}),
+    "hpcc_under_montage": (_hpcc_under_montage,
+                           {"suite_scale": HPCC_SCALE,
+                            "warmup_s": HPCC_WARMUP}),
+    "fault_storm": (_fault_storm, {"n_files": STORM_FILES,
+                                   "storm_fraction": 0.5, "seed": SEED}),
+}
+
+
+def _publish(data: dict) -> None:
+    # The repo-root trajectory file always mirrors the *full* run; the
+    # smoke lane only writes its own results/perf-suite-smoke.json.
+    if not data["smoke"]:
+        (ROOT / "BENCH_perf.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True))
+
+
+def run_perf_suite() -> dict:
+    cached = load_cached(KEY)
+    if cached is not None:
+        _publish(cached)
+        return cached
+    t0 = time.time()
+    data: dict = {"smoke": SMOKE, "scenarios": {}}
+    for name, (fn, params) in SCENARIOS.items():
+        signatures, walls, counters = {}, {}, {}
+        for solver in SOLVERS:
+            flownet_stats.reset()
+            t = time.perf_counter()
+            signatures[solver] = fn(solver)
+            walls[solver] = time.perf_counter() - t
+            counters[solver] = flownet_stats.snapshot()
+        data["scenarios"][name] = {
+            "params": params,
+            "byte_identical":
+                signatures["incremental"] == signatures["reference"],
+            "signature": signatures["incremental"],
+            "wall_s": walls,
+            "speedup": walls["reference"] / walls["incremental"],
+            "solver_counters": counters,
+        }
+    data["wall_seconds"] = time.time() - t0
+    save_cached(KEY, data)
+    _publish(data)
+    return data
+
+
+def test_perf_suite(benchmark):
+    data = benchmark.pedantic(run_perf_suite, rounds=1, iterations=1)
+    scenarios = data["scenarios"]
+    print()
+    print(render_table(
+        ["scenario", "incremental (s)", "reference (s)", "speedup",
+         "identical", "solves", "flows touched"],
+        [[name,
+          f"{s['wall_s']['incremental']:.2f}",
+          f"{s['wall_s']['reference']:.2f}",
+          f"{s['speedup']:.2f}x",
+          str(s["byte_identical"]),
+          s["solver_counters"]["incremental"]["solves"],
+          s["solver_counters"]["incremental"]["flows_touched"]]
+         for name, s in scenarios.items()],
+        title="Solver perf suite "
+              f"({'smoke' if data['smoke'] else 'full'} scale)"))
+
+    # Byte-identical simulated physics in both solver modes, everywhere.
+    for name, s in scenarios.items():
+        assert s["byte_identical"], name
+
+    # The tentpole target: >= 5x end-to-end on the Fig. 2-shaped scenario
+    # (full scale only; smoke runs are too small to amortize anything and
+    # are gated on counters instead).
+    if not data["smoke"]:
+        assert scenarios["fig2_baseline"]["speedup"] >= 5.0
+
+    # Counter budgets: the incremental solver must not regress into doing
+    # more solve work than the checked-in ceiling allows.
+    budget = BUDGET["smoke" if data["smoke"] else "full"]
+    for name, limits in budget.items():
+        got = scenarios[name]["solver_counters"]["incremental"]
+        for counter, ceiling in limits.items():
+            assert got[counter] <= ceiling, (
+                f"{name}.{counter}: {got[counter]} > budget {ceiling}")
+
+    # The storm scenario still recovers: no data loss, no open faults.
+    storm = scenarios["fault_storm"]["signature"]
+    assert storm["data_losses"] == 0
+    assert storm["fault_counters"]["open_faults"] == 0

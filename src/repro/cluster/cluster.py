@@ -38,12 +38,17 @@ class Cluster:
 
 
 def build_das5(env: Environment | None = None, n_nodes: int = 40,
-               spec: MachineSpec = DAS5, seed: int = 0) -> Cluster:
-    """A DAS-5-like cluster of *n_nodes* identical machines (paper §IV-A)."""
+               spec: MachineSpec = DAS5, seed: int = 0,
+               solver: str | None = None) -> Cluster:
+    """A DAS-5-like cluster of *n_nodes* identical machines (paper §IV-A).
+
+    *solver* selects the fabric's flow-solver mode (see
+    :class:`~repro.sim.flownet.FlowNetwork`).
+    """
     if n_nodes < 1:
         raise ValueError("n_nodes must be >= 1")
     env = env or Environment()
     nodes = [Node(env, f"node{i:03d}", spec) for i in range(n_nodes)]
-    fabric = Fabric(env)
+    fabric = Fabric(env, solver=solver)
     fabric.attach_all(nodes)
     return Cluster(env, nodes, fabric, RngRegistry(seed))

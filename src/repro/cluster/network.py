@@ -29,9 +29,9 @@ __all__ = ["Fabric"]
 class Fabric:
     """Owns the flow network and the per-node NIC + loopback links."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, solver: str | None = None):
         self.env = env
-        self.net = FlowNetwork(env)
+        self.net = FlowNetwork(env, solver=solver)
         self._loopback: dict[str, Link] = {}
         self._ipoib_tx: dict[str, Link] = {}
         self._ipoib_rx: dict[str, Link] = {}
@@ -72,6 +72,11 @@ class Fabric:
 
     def node(self, name: str) -> Node:
         return self._nodes[name]
+
+    def batch(self):
+        """Coalesce a burst of transfers/capacity changes into one solve
+        (delegates to :meth:`FlowNetwork.batch`)."""
+        return self.net.batch()
 
     # -- transfers -------------------------------------------------------------
     def path(self, src: Node, dst: Node,
@@ -128,12 +133,14 @@ class Fabric:
         if not 0.0 < factor:
             raise ValueError("degradation factor must be positive")
         links = self.links_of(name)
-        for link in links:
-            self.net.set_capacity(link, self._nominal[link.name] * factor)
+        with self.net.batch():
+            for link in links:
+                self.net.set_capacity(link, self._nominal[link.name] * factor)
 
         def restore() -> None:
-            for link in links:
-                self.net.set_capacity(link, self._nominal[link.name])
+            with self.net.batch():
+                for link in links:
+                    self.net.set_capacity(link, self._nominal[link.name])
 
         return restore
 

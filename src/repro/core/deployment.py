@@ -46,6 +46,10 @@ class DeploymentConfig:
     io_deadline: float | None = None
     io_retries: int = 3
     io_hedge: float | None = None
+    # Flow-solver mode for the fabric: None → FlowNetwork's default
+    # ("incremental"); "reference" retains the full-recompute path for
+    # perf comparisons (bit-identical trajectories either way).
+    solver: str | None = None
 
     def __post_init__(self):
         if self.n_own < 1:
@@ -67,7 +71,8 @@ class MemFSSDeployment:
         self.config = config
         self.rng = RngRegistry(config.seed)
         self.cluster: Cluster = build_das5(
-            env, n_nodes=config.n_own + config.n_victim, seed=config.seed)
+            env, n_nodes=config.n_own + config.n_victim, seed=config.seed,
+            solver=config.solver)
         self.env = self.cluster.env
         res = self.cluster.reservations
 

@@ -239,8 +239,9 @@ class MemFSS:
              for idx, nb, piece, share in jobs])
 
         # Metadata: file record, parent directory entry, global registry.
-        yield from client.put(self._meta_server(file_meta_key(path)),
-                              file_meta_key(path), payload=meta.to_bytes())
+        meta_key = file_meta_key(path)
+        yield from client.put(self._meta_server(meta_key),
+                              meta_key, payload=meta.to_bytes())
         parent = parent_dir(path)
         name = path.rsplit("/", 1)[-1]
         yield from client.sadd(self._meta_server(dir_key(parent)),
@@ -284,7 +285,14 @@ class MemFSS:
                            payload=piece, batch=batch))
 
     def _run_window(self, gens: list):
-        """Run generators with at most :attr:`write_window` in flight."""
+        """Run generators with at most :attr:`write_window` in flight.
+
+        The in-flight stripe puts land their fabric transfers at the same
+        simulated instant (client RTTs are equal), so the flow network's
+        same-timestamp coalescing solves the fan-out's rate changes once
+        per window step instead of once per stripe — no explicit
+        ``FlowNetwork.batch()`` needed on this path.
+        """
         window = self.write_window
         if window == 1 or len(gens) <= 1:
             for g in gens:
@@ -309,14 +317,15 @@ class MemFSS:
         """Generator: the :class:`FileMeta` of *path*."""
         path = normalize_path(path)
         client = self.client(node)
+        meta_key = file_meta_key(path)
         try:
-            server = self._meta_server(file_meta_key(path))
+            server = self._meta_server(meta_key)
         except KeyError:
             # The node holding this path's metadata has left the system —
             # exactly the failure mode §III-D's own-only placement avoids.
             raise FileNotFound(f"{path}: metadata server is gone") from None
         try:
-            _n, raw = yield from client.get(server, file_meta_key(path))
+            _n, raw = yield from client.get(server, meta_key)
         except StoreError as exc:
             if exc.code is StoreErrorCode.MISSING:
                 raise FileNotFound(path) from None

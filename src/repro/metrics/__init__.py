@@ -4,11 +4,13 @@ from .faults import (attach_fault_probes, fault_counters,
                      render_fault_report)
 from .placement import attach_placement_probes, placement_counters
 from .report import fmt_pct, render_bars, render_table
+from .solver import attach_solver_probes, solver_counters
 from .utilization import NodeUtilization, class_utilization, node_utilization
 
 __all__ = [
     "render_table", "render_bars", "fmt_pct",
     "NodeUtilization", "node_utilization", "class_utilization",
     "placement_counters", "attach_placement_probes",
+    "solver_counters", "attach_solver_probes",
     "fault_counters", "attach_fault_probes", "render_fault_report",
 ]

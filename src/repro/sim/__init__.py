@@ -3,7 +3,8 @@
 from .kernel import (AllOf, AnyOf, Environment, Event, Interrupt, Process,
                      SimulationError, Timeout)
 from .fluid import Flow, FluidResource, maxmin_allocate
-from .flownet import FlowNetwork, Link, NetFlow, progressive_fill
+from .flownet import (FlowNetStats, FlowNetwork, Link, NetFlow,
+                      flownet_stats, progressive_fill)
 from .monitor import Monitor, TimeSeries
 from .rng import RngRegistry
 
@@ -12,5 +13,6 @@ __all__ = [
     "Interrupt", "SimulationError",
     "Flow", "FluidResource", "maxmin_allocate",
     "FlowNetwork", "Link", "NetFlow", "progressive_fill",
+    "FlowNetStats", "flownet_stats",
     "Monitor", "TimeSeries", "RngRegistry",
 ]

@@ -36,12 +36,24 @@ def maxmin_allocate(capacity: float, caps: list[float]) -> list[float]:
     n = len(caps)
     if n == 0:
         return []
-    order = sorted(range(n), key=lambda i: caps[i])
+    if n == 1:
+        # share == capacity exactly; identical to the general path.
+        cap = caps[0]
+        return [cap if cap < capacity else capacity]
+    first = caps[0]
+    for c in caps:
+        if c != first:
+            order = sorted(range(n), key=lambda i: caps[i])
+            break
+    else:
+        # All caps equal: the stable sort is the identity permutation.
+        order = range(n)
     rates = [0.0] * n
     remaining = capacity
     for pos, idx in enumerate(order):
         share = remaining / (n - pos)
-        rate = min(caps[idx], share)
+        cap = caps[idx]
+        rate = cap if cap < share else share
         rates[idx] = rate
         remaining -= rate
     return rates
@@ -175,11 +187,9 @@ class FluidResource:
         try:
             yield flow.done
         except BaseException:
-            # Interrupted while flowing: withdraw our demand before unwinding.
-            if flow in self._flows:
-                self._flows.remove(flow)
-                flow.rate = 0.0
-                self._rebalance()
+            # Interrupted while flowing: withdraw through remove() so the
+            # progress accrued since the last update is settled first.
+            self.remove(flow)
             raise
         return flow
 
@@ -192,11 +202,12 @@ class FluidResource:
             return
         used = 0.0
         for f in self._flows:
-            if f.rate > 0 and not f.persistent:
-                f.remaining -= f.rate * dt
+            rate = f.rate
+            if rate > 0 and f.work is not None:
+                f.remaining -= rate * dt
                 if f.remaining < 0:
                     f.remaining = 0.0
-            used += f.rate
+            used += rate
         self._busy_integral += used * dt
         self._last_update = now
 
@@ -207,34 +218,36 @@ class FluidResource:
         # a flow finishing sooner than this must complete immediately or the
         # wakeup would be scheduled at `now + dt == now` and spin forever.
         min_dt = max(math.nextafter(now, math.inf) - now, 1e-12)
+        flows = self._flows
         while True:
-            finished = [f for f in self._flows
-                        if not f.persistent and f.remaining <= _EPS]
+            finished = [f for f in flows
+                        if f.work is not None and f.remaining <= _EPS]
             for f in finished:
-                self._flows.remove(f)
+                flows.remove(f)
                 f.rate = 0.0
                 f.remaining = 0.0
                 f.finished_at = now
                 f.done.succeed(f)
-            caps = [f.cap for f in self._flows]
+            caps = [f.cap for f in flows]
             rates = maxmin_allocate(self.capacity, caps)
-            for f, r in zip(self._flows, rates):
-                f.rate = r
             horizon = math.inf
-            for f in self._flows:
-                if f.rate > 0 and not f.persistent:
-                    horizon = min(horizon, f.remaining / f.rate)
+            for f, r in zip(flows, rates):
+                f.rate = r
+                if r > 0 and f.work is not None:
+                    h = f.remaining / r
+                    if h < horizon:
+                        horizon = h
             if horizon >= min_dt or horizon is math.inf:
                 break
             # Sub-resolution completions: drain them at the current instant.
-            for f in self._flows:
-                if (not f.persistent and f.rate > 0
+            for f in flows:
+                if (f.work is not None and f.rate > 0
                         and f.remaining / f.rate < min_dt):
                     f.remaining = 0.0
         self._wakeup_token += 1
         token = self._wakeup_token
         if horizon is not math.inf:
-            self.env.schedule_callback(horizon, lambda: self._on_wakeup(token))
+            self.env.call_later(horizon, lambda: self._on_wakeup(token))
 
     def _on_wakeup(self, token: int) -> None:
         if token != self._wakeup_token:

@@ -228,6 +228,41 @@ class Process(Event):
         return f"<Process {self.name} {'done' if self._triggered else 'alive'}>"
 
 
+class _Callback(Event):
+    """A pooled calendar slot that runs a bare callable when popped.
+
+    ``Environment.call_later`` is the allocation-light sibling of
+    :meth:`Environment.schedule_callback`: the fluid/flow-network layers
+    reschedule their wakeup on every rebalance, so each firing would
+    otherwise allocate a fresh :class:`Timeout`, a callback list and a
+    wrapping lambda.  A ``_Callback`` instead owns one permanent
+    callback cell and returns itself to the environment's free pool the
+    moment it fires, before the user function runs — so a function that
+    immediately reschedules reuses the very slot that woke it.
+
+    The slot is *not* waitable: it never triggers and must not be
+    yielded on.  Internal use only.
+    """
+
+    __slots__ = ("fn", "_cell")
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self.fn: Callable[[], None] | None = None
+        self._cell = [self._fire]
+        self.callbacks = self._cell
+
+    def _fire(self, _event: Event) -> None:
+        fn, self.fn = self.fn, None
+        # Re-arm and return to the pool before running user code, so a
+        # reschedule from inside *fn* reuses this very slot.
+        self.callbacks = self._cell
+        self._scheduled = False
+        self.env._cb_pool.append(self)
+        assert fn is not None
+        fn()
+
+
 class _Condition(Event):
     """Base for AllOf / AnyOf combinators over a fixed set of events."""
 
@@ -301,6 +336,10 @@ class Environment:
         # event loop; a crashed background task must not take unrelated
         # simulation state with it.
         self._catch_process_errors = True
+        # Free pool of _Callback slots for call_later (slot reuse keeps
+        # the rebalance-heavy fluid layers from allocating one Timeout +
+        # lambda per scheduled wakeup).
+        self._cb_pool: list[_Callback] = []
 
     @property
     def now(self) -> float:
@@ -338,6 +377,23 @@ class Environment:
         ev = self.timeout(delay)
         ev._add_callback(lambda _e: fn())
         return ev
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* after *delay* through a pooled calendar slot.
+
+        The allocation-light variant of :meth:`schedule_callback` for hot
+        reschedule loops (flow-network wakeups fire once per rate change).
+        Unlike ``schedule_callback`` it returns no waitable event; a
+        caller that needs to *wait* for the callback should keep using
+        ``schedule_callback``.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_later delay: {delay}")
+        pool = self._cb_pool
+        cb = pool.pop() if pool else _Callback(self)
+        cb.fn = fn
+        cb._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), cb))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

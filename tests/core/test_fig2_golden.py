@@ -1,0 +1,38 @@
+"""Golden Fig. 2 trajectory: the solver rewrite must not move a bit.
+
+``data/fig2_golden.json`` was produced by the pre-rewrite solver (global
+synchronous progressive filling) on the 48-task / 32 MB smoke scenario.
+Every figure-level output — runtime, class utilizations, the victim-NIC
+series — must match bit for bit under both the incremental and the
+retained reference solver mode.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.deployment import DeploymentConfig
+from repro.core.experiment import baseline_run
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "fig2_golden.json").read_text())
+
+
+@pytest.mark.parametrize("solver", ["incremental", "reference"])
+def test_fig2_smoke_bit_identical(solver):
+    cfg = DeploymentConfig(solver=solver)
+    m = baseline_run(alpha=GOLDEN["alpha"], n_tasks=GOLDEN["n_tasks"],
+                     file_size=GOLDEN["file_size"], config=cfg,
+                     keep_series=True)
+    assert m.runtime_s == GOLDEN["runtime_s"]
+    assert m.own_cpu == GOLDEN["own_cpu"]
+    assert m.own_tx == GOLDEN["own_tx"]
+    assert m.own_rx == GOLDEN["own_rx"]
+    assert m.victim_cpu == GOLDEN["victim_cpu"]
+    assert m.victim_rx == GOLDEN["victim_rx"]
+    assert m.victim_rx_bytes_s == GOLDEN["victim_rx_bytes_s"]
+    times, values = m.series["victim.rx"]
+    g_times, g_values = GOLDEN["victim_rx_series"]
+    assert list(times) == g_times
+    assert list(values) == g_values

@@ -345,3 +345,52 @@ def test_determinism_same_model_same_trace():
         return log
 
     assert build() == build()
+
+
+def test_call_later_runs_in_order():
+    env = Environment()
+    hits = []
+    env.call_later(2.0, lambda: hits.append(("b", env.now)))
+    env.call_later(1.0, lambda: hits.append(("a", env.now)))
+    env.call_later(2.0, lambda: hits.append(("c", env.now)))
+    env.run()
+    assert hits == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+
+
+def test_call_later_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_later(-0.1, lambda: None)
+
+
+def test_call_later_reuses_pooled_slot():
+    env = Environment()
+    hits = []
+
+    def again():
+        hits.append(env.now)
+        if len(hits) < 3:
+            env.call_later(1.0, again)
+
+    env.call_later(1.0, again)
+    env.run()
+    assert hits == [1.0, 2.0, 3.0]
+    # The reschedule-from-inside-the-callback path reuses one slot.
+    assert len(env._cb_pool) == 1
+
+
+def test_call_later_interleaves_with_timeouts_by_insertion_order():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.0)
+        log.append("proc")
+
+    env.process(proc())
+    env.call_later(1.0, lambda: log.append("cb"))
+    env.run()
+    # The callback's calendar entry was inserted first (the process only
+    # creates its timeout once its bootstrap event runs at t=0), so it
+    # wins the tie at t=1 — insertion order, exactly like Timeout.
+    assert log == ["cb", "proc"]
