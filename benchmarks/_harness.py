@@ -12,17 +12,21 @@ EXPERIMENTS.md can be regenerated from the same artifacts.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
-from repro.core import DeploymentConfig, MemFSSDeployment
-from repro.core.slowdown import BackgroundWorkload, _run_suite
-from repro.tenants import (hibench_hadoop_suite, hibench_spark_suite,
-                           hpcc_suite)
+from repro.core import DeploymentConfig
+from repro.exec import (run_scenario, slowdown_suite_spec, slowdown_sweep)
+from repro.exec.scenarios import PRESET_WORKLOADS
 from repro.units import MB
-from repro.workflows import blast, dd_bag, montage
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Worker processes for the slowdown fan-out (the baseline and each
+#: workload run are independent scenarios); serial by default so bench
+#: wall times stay comparable across machines.
+BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 #: Tenant input scales used by the benches (slowdown ratios are
 #: scale-free; smaller inputs just shorten the wall time).
@@ -32,19 +36,12 @@ HIBENCH_SCALE = 0.4
 #: The paper's three MemFSS workloads, reduced to steady-state loops that
 #: keep the full-scale traffic *intensity* (the bags are FUSE-bandwidth
 #: bound, so fewer tasks per iteration only shortens the loop period).
-WORKLOAD_FACTORIES = {
-    "Montage": lambda i: montage(width=96, compute_scale=0.02,
-                                 parallel_task_scale=2.0),
-    "BLAST": lambda i: blast(n_searches=256, split_seconds=10.0,
-                             search_seconds=60.0),
-    "dd": lambda i: dd_bag(n_tasks=64, file_size=256 * MB),
-}
+#: Canonical presets live in ``repro.exec.scenarios.PRESET_WORKLOADS``;
+#: this name survives for the benches' imports.
+WORKLOAD_FACTORIES = PRESET_WORKLOADS
 
-SUITES = {
-    "hpcc": lambda n: hpcc_suite(HPCC_SCALE),
-    "hibench-hadoop": lambda n: hibench_hadoop_suite(n, HIBENCH_SCALE),
-    "hibench-spark": lambda n: hibench_spark_suite(n, HIBENCH_SCALE),
-}
+_SUITE_SCALES = {"hpcc": HPCC_SCALE, "hibench-hadoop": HIBENCH_SCALE,
+                 "hibench-spark": HIBENCH_SCALE}
 
 
 def _cache_file(key: str) -> Path:
@@ -63,28 +60,25 @@ def save_cached(key: str, data: dict) -> None:
     _cache_file(key).write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
+def _suite_config(alpha: float) -> DeploymentConfig:
+    # 64 MB stripes halve the event rate of the background loop; the
+    # interference channels integrate store *bytes*, so slowdowns are
+    # insensitive to the stripe size (see bench_ablation_stripe).
+    return DeploymentConfig(alpha=alpha, stripe_size=64 * MB)
+
+
 def run_suite_once(suite: str, alpha: float,
                    workload: str | None,
                    warmup: float = 30.0) -> dict[str, float]:
     """Per-benchmark runtimes of *suite* under the given scavenging load.
 
-    ``workload=None`` is the undisturbed baseline.  A fresh deployment is
-    built per call; results are deterministic for fixed parameters.
+    ``workload=None`` is the undisturbed baseline.  One scenario spec,
+    executed in-process; results are deterministic for fixed parameters.
     """
-    # 64 MB stripes halve the event rate of the background loop; the
-    # interference channels integrate store *bytes*, so slowdowns are
-    # insensitive to the stripe size (see bench_ablation_stripe).
-    config = DeploymentConfig(alpha=alpha, stripe_size=64 * MB)
-    dep = MemFSSDeployment(config)
-    background = None
-    if workload is not None:
-        background = BackgroundWorkload(dep, WORKLOAD_FACTORIES[workload])
-        background.start()
-        dep.env.run(until=dep.env.now + warmup)
-    times = _run_suite(dep, SUITES[suite](len(dep.victims)))
-    if background is not None:
-        background.stop()
-    return times
+    spec = slowdown_suite_spec(_suite_config(alpha), suite,
+                               _SUITE_SCALES[suite], workload,
+                               warmup=warmup)
+    return run_scenario(spec)["runtimes_s"]
 
 
 def slowdown_table(suite: str, alpha: float,
@@ -93,17 +87,23 @@ def slowdown_table(suite: str, alpha: float,
     """Slowdowns of every benchmark in *suite* under each workload.
 
     Returns ``{"baseline": {...}, "<workload>": {bench: pct}}``, cached.
+    The baseline and per-workload runs are independent scenarios fanned
+    out through :func:`repro.exec.slowdown_sweep` (``BENCH_JOBS=N`` runs
+    them on N worker processes, byte-identically).
     """
     key = f"slowdown-{suite}-alpha{int(alpha * 100)}"
     cached = load_cached(key)
     if cached is not None:
         return cached
     t0 = time.time()
-    baseline = run_suite_once(suite, alpha, None)
+    sweep = slowdown_sweep(_suite_config(alpha), suite,
+                           _SUITE_SCALES[suite], workloads=workloads,
+                           warmup=30.0, jobs=BENCH_JOBS)
+    baseline = sweep[None]
     out: dict = {"suite": suite, "alpha": alpha, "baseline": baseline,
                  "slowdowns": {}}
     for wl in workloads:
-        loaded = run_suite_once(suite, alpha, wl)
+        loaded = sweep[wl]
         out["slowdowns"][wl] = {
             bench: (loaded[bench] / baseline[bench] - 1.0) * 100.0
             for bench in baseline}

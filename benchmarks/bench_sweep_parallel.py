@@ -1,0 +1,143 @@
+"""Tracked sweep-executor bench: serial vs. parallel vs. warm-cache Fig. 2.
+
+Times the five-α Fig. 2 sweep three ways in one run:
+
+* **serial** — the pre-PR behaviour (one process, spec order), with a
+  fresh content-addressed cache attached so the run doubles as the
+  cache's cold fill,
+* **process** — the same specs fanned out over ``-j 4`` spawn workers
+  (``-j 2`` under ``SWEEP_SMOKE=1``), no cache, and
+* **warm** — the sweep again against the now-filled cache: every
+  scenario must be answered from disk (zero simulations).
+
+The three result sets must be byte-identical (canonical JSON).  The
+parallel speedup is recorded always and *asserted* (≥ 2.5×) only on full
+runs with ≥ 4 usable cores — on fewer cores the fan-out physically
+cannot beat 2.5× and the number is reported for the record instead.  The
+warm-cache speedup is asserted everywhere: answering from the cache must
+beat re-simulating by ≥ 2.5× at any scale.
+
+Results land in ``results/sweep-parallel.json`` (or ``-smoke``) and, for
+full runs, ``BENCH_sweep.json`` at the repo root — the sweep-executor
+trajectory later PRs regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from _harness import load_cached, save_cached
+from repro.exec import ResultCache, SweepRunner, exec_stats, fig2_sweep_specs
+from repro.metrics import render_table
+from repro.units import MB
+
+SMOKE = os.environ.get("SWEEP_SMOKE") == "1"
+KEY = "sweep-parallel-smoke" if SMOKE else "sweep-parallel"
+ROOT = Path(__file__).resolve().parent.parent
+
+# Full scale is the paper's own Fig. 2 sweep (2048 dd tasks of 128 MB;
+# larger bags stop fitting the α = 0 victim capacity).
+N_TASKS = 24 if SMOKE else 2048
+FILE_SIZE = 16 * MB if SMOKE else 128 * MB
+JOBS = 2 if SMOKE else 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _canon(results) -> str:
+    return json.dumps([r.payload for r in results], sort_keys=True)
+
+
+def run_sweep_bench() -> dict:
+    cached = load_cached(KEY)
+    if cached is not None:
+        _publish(cached)
+        return cached
+    specs = fig2_sweep_specs(n_tasks=N_TASKS, file_size=FILE_SIZE)
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-cache-") as tmp:
+        cache = ResultCache(root=tmp)
+
+        exec_stats.reset()
+        t0 = time.perf_counter()
+        serial = SweepRunner("serial", cache=cache).run(specs)
+        serial_s = time.perf_counter() - t0
+        cold_counters = exec_stats.snapshot()
+
+        exec_stats.reset()
+        t0 = time.perf_counter()
+        parallel = SweepRunner("process", jobs=JOBS).run(specs)
+        parallel_s = time.perf_counter() - t0
+
+        exec_stats.reset()
+        t0 = time.perf_counter()
+        warm = SweepRunner("serial", cache=cache).run(specs)
+        warm_s = time.perf_counter() - t0
+        warm_counters = exec_stats.snapshot()
+
+    data = {
+        "smoke": SMOKE,
+        "params": {"n_tasks": N_TASKS, "file_mb": FILE_SIZE / MB,
+                   "jobs": JOBS, "n_scenarios": len(specs)},
+        "cpus": _usable_cpus(),
+        "wall_s": {"serial": serial_s, "process": parallel_s,
+                   "warm_cache": warm_s},
+        "parallel_speedup": serial_s / parallel_s,
+        "warm_cache_speedup": serial_s / warm_s,
+        "byte_identical": (_canon(serial) == _canon(parallel)
+                           == _canon(warm)),
+        "cold_counters": cold_counters,
+        "warm_counters": warm_counters,
+        "runtimes_s": {f"alpha{int(r.payload['alpha'] * 100)}":
+                       r.payload["runtime_s"] for r in serial},
+    }
+    save_cached(KEY, data)
+    _publish(data)
+    return data
+
+
+def _publish(data: dict) -> None:
+    # The repo-root trajectory file always mirrors the *full* run; the
+    # smoke lane only writes its own results/sweep-parallel-smoke.json.
+    if not data["smoke"]:
+        (ROOT / "BENCH_sweep.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True))
+
+
+def test_sweep_parallel(benchmark):
+    data = benchmark.pedantic(run_sweep_bench, rounds=1, iterations=1)
+    walls = data["wall_s"]
+    print()
+    print(render_table(
+        ["mode", "wall (s)", "speedup"],
+        [["serial", f"{walls['serial']:.2f}", "1.00x"],
+         [f"process -j {data['params']['jobs']}",
+          f"{walls['process']:.2f}", f"{data['parallel_speedup']:.2f}x"],
+         ["warm cache", f"{walls['warm_cache']:.3f}",
+          f"{data['warm_cache_speedup']:.1f}x"]],
+        title=f"Fig. 2 sweep executor ({'smoke' if data['smoke'] else 'full'}"
+              f" scale, {data['cpus']} cpus)"))
+
+    # The determinism contract, end to end: serial == process == cached.
+    assert data["byte_identical"]
+
+    # A warm re-run answers every scenario from the cache and simulates
+    # nothing.
+    n = data["params"]["n_scenarios"]
+    assert data["warm_counters"]["cache_hits"] == n
+    assert data["warm_counters"]["scenarios_run"] == 0
+    assert data["cold_counters"]["cache_stores"] == n
+    assert data["warm_cache_speedup"] >= 2.5
+
+    # The fan-out target needs cores to stand on; on starved runners the
+    # number is recorded (above) but cannot be a gate.
+    if not data["smoke"] and data["cpus"] >= 4:
+        assert data["parallel_speedup"] >= 2.5

@@ -2,16 +2,20 @@
 
 ::
 
-    memfss fig2   [--tasks 256]
-    memfss fig3   [--alpha 0.25] [--workload dd]
-    memfss fig4   [--alpha 0.25] [--workload dd]
-    memfss fig5   [--workload dd]
-    memfss table2 [--scale 8]
+    memfss fig2   [--tasks 256] [-j N] [--no-cache]
+    memfss fig3   [--alpha 0.25] [--workload dd] [-j N] [--no-cache]
+    memfss fig4   [--alpha 0.25] [--workload dd] [-j N] [--no-cache]
+    memfss fig5   [--workload dd] [-j N] [--no-cache]
+    memfss table2 [--scale 8] [-j N] [--no-cache]
     memfss table1
 
-Each command prints the corresponding table or series as text.  The
-benchmark suite under ``benchmarks/`` runs the same experiments with
-shape assertions and result caching; the CLI is the quick interactive way
+Each command prints the corresponding table or series as text.  Every
+figure is a sweep of independent simulations, so ``-j/--jobs N`` fans
+them out over N worker processes (byte-identical to the serial run) and
+results are cached content-addressed under ``.repro-cache/`` (override
+with ``REPRO_CACHE_DIR``; ``--no-cache`` disables) so a warm re-run is
+near-instant.  The benchmark suite under ``benchmarks/`` runs the same
+experiments with shape assertions; the CLI is the quick interactive way
 to poke at one scenario.
 """
 
@@ -20,22 +24,28 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import (DeploymentConfig, MemFSSDeployment, baseline_sweep,
-                   normalized, run_scavenging, run_standalone)
-from .core.slowdown import BackgroundWorkload, _run_suite
+from .core import (DeploymentConfig, baseline_sweep, normalized)
+from .core.slowdown import SlowdownResult
 from .data import TABLE_I
+from .exec import (ResultCache, consumption_specs, run_consumption_points,
+                   slowdown_sweep)
 from .metrics import render_table
-from .tenants import hibench_hadoop_suite, hibench_spark_suite, hpcc_suite
 from .units import GB, MB
-from .workflows import MONTAGE_PAPER_WIDTH, blast, dd_bag, montage
+from .workflows import MONTAGE_PAPER_WIDTH
 
+#: Scavenging workloads at CLI scale: name → (builder name, kwargs),
+#: resolved by the scenario executor (specs carry names, not callables).
 WORKLOADS = {
-    "montage": lambda i: montage(width=96, compute_scale=0.02,
-                                 parallel_task_scale=2.0),
-    "blast": lambda i: blast(n_searches=256, split_seconds=10.0,
-                             search_seconds=60.0),
-    "dd": lambda i: dd_bag(n_tasks=128, file_size=128 * MB),
+    "montage": ("montage", {"width": 96, "compute_scale": 0.02,
+                            "parallel_task_scale": 2.0}),
+    "blast": ("blast", {"n_searches": 256, "split_seconds": 10.0,
+                        "search_seconds": 60.0}),
+    "dd": ("dd", {"n_tasks": 128, "file_size": 128 * MB}),
 }
+
+
+def _cache_from(args) -> ResultCache | None:
+    return ResultCache() if getattr(args, "cache", False) else None
 
 
 def cmd_table1(_args) -> int:
@@ -53,7 +63,8 @@ def cmd_table1(_args) -> int:
 
 
 def cmd_fig2(args) -> int:
-    metrics = baseline_sweep(n_tasks=args.tasks, file_size=128 * MB)
+    metrics = baseline_sweep(n_tasks=args.tasks, file_size=128 * MB,
+                             jobs=args.jobs, cache=_cache_from(args))
     rows = [[f"{m.alpha * 100:.0f}%", f"{m.runtime_s:.2f} s",
              f"{m.own_cpu * 100:.1f}%", f"{m.victim_cpu * 100:.2f}%",
              f"{m.victim_rx_bytes_s / MB:.0f} MB/s"]
@@ -64,39 +75,38 @@ def cmd_fig2(args) -> int:
     return 0
 
 
-def _slowdown(args, suite_builder, title: str) -> int:
+def _slowdown(args, suite: str, suite_scale: float, title: str) -> int:
     config = DeploymentConfig(alpha=args.alpha)
-    base = MemFSSDeployment(config)
-    baseline = _run_suite(base, suite_builder(len(base.victims)))
-    loaded_dep = MemFSSDeployment(config)
-    bg = BackgroundWorkload(loaded_dep, WORKLOADS[args.workload])
-    bg.start()
-    loaded_dep.env.run(until=loaded_dep.env.now + 45.0)
-    loaded = _run_suite(loaded_dep, suite_builder(len(loaded_dep.victims)))
-    bg.stop()
-    rows = [[b, f"{baseline[b]:.1f} s", f"{loaded[b]:.1f} s",
-             f"{(loaded[b] / baseline[b] - 1) * 100:.2f}%"]
-            for b in baseline]
+    builder, kwargs = WORKLOADS[args.workload]
+    sweep = slowdown_sweep(config, suite, suite_scale,
+                           workloads=(builder,), workload_kwargs=kwargs,
+                           warmup=45.0, jobs=args.jobs,
+                           cache=_cache_from(args))
+    baseline, loaded = sweep[None], sweep[builder]
+    results = [SlowdownResult(b, baseline[b], loaded[b]) for b in baseline]
+    rows = [[r.benchmark, f"{r.baseline_s:.1f} s", f"{r.loaded_s:.1f} s",
+             f"{r.slowdown_pct:.2f}%"]
+            for r in results]
     print(render_table(["benchmark", "baseline", "scavenged", "slowdown"],
                        rows, title=title))
     return 0
 
 
 def cmd_fig3(args) -> int:
-    return _slowdown(args, lambda n: hpcc_suite(0.5),
+    return _slowdown(args, "hpcc", 0.5,
                      f"Fig. 3: HPCC under {args.workload}, "
                      f"alpha={args.alpha}")
 
 
 def cmd_fig4(args) -> int:
-    return _slowdown(args, hibench_hadoop_suite,
+    return _slowdown(args, "hibench-hadoop", 1.0,
                      f"Fig. 4: HiBench Hadoop under {args.workload}, "
                      f"alpha={args.alpha}")
 
 
 def cmd_fig5(args) -> int:
     args.alpha = 0.5
-    return _slowdown(args, hibench_spark_suite,
+    return _slowdown(args, "hibench-spark", 1.0,
                      f"Fig. 5: HiBench Spark under {args.workload}, "
                      "alpha=0.5")
 
@@ -104,15 +114,15 @@ def cmd_fig5(args) -> int:
 def cmd_table2(args) -> int:
     scale = args.scale
     width = MONTAGE_PAPER_WIDTH // scale
-    wf = lambda: montage(width=width, parallel_task_scale=float(scale))
     own_cap = 60 * GB / scale
     vic_mem = 28 * GB / scale
-    points = [run_standalone(wf(), n_nodes=20, store_capacity=own_cap),
-              run_standalone(wf(), n_nodes=19, store_capacity=own_cap)]
-    for n in (4, 8, 16):
-        points.append(run_scavenging(wf(), n_own=n, n_victim=40 - n,
-                                     victim_memory=vic_mem,
-                                     own_store_capacity=own_cap))
+    specs = consumption_specs(
+        "montage", {"width": width, "parallel_task_scale": float(scale)},
+        standalone_nodes=(20, 19), scavenging_own=(4, 8, 16),
+        total_nodes=40, victim_memory=vic_mem,
+        own_store_capacity=own_cap)
+    points = run_consumption_points(specs, jobs=args.jobs,
+                                    cache=_cache_from(args))
     rows = []
     for p in points:
         if not p.fits:
@@ -134,16 +144,30 @@ def main(argv: list[str] | None = None) -> int:
         prog="memfss", description="MemFSS paper-reproduction experiments")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Sweep-executor knobs shared by every simulating command.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="fan scenarios out over N worker processes "
+                             "(default 1 = serial; byte-identical)")
+    common.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="reuse cached scenario results from "
+                             ".repro-cache/ (default on; --no-cache "
+                             "forces re-simulation)")
+
     sub.add_parser("table1", help="print the Table I survey")
-    p2 = sub.add_parser("fig2", help="dd-bag baseline sweep")
+    p2 = sub.add_parser("fig2", help="dd-bag baseline sweep",
+                        parents=[common])
     p2.add_argument("--tasks", type=int, default=256)
     for name in ("fig3", "fig4", "fig5"):
-        p = sub.add_parser(name, help=f"{name} slowdown experiment")
+        p = sub.add_parser(name, help=f"{name} slowdown experiment",
+                           parents=[common])
         if name != "fig5":
             p.add_argument("--alpha", type=float, default=0.25)
         p.add_argument("--workload", choices=sorted(WORKLOADS),
                        default="dd")
-    pt = sub.add_parser("table2", help="Montage consumption experiment")
+    pt = sub.add_parser("table2", help="Montage consumption experiment",
+                        parents=[common])
     pt.add_argument("--scale", type=int, default=8,
                     help="data down-scale factor (default 8)")
 

@@ -1,0 +1,37 @@
+"""Parallel scenario execution for the figure suite.
+
+Every paper figure is a sweep of *independent* simulations (Fig. 2 runs
+five α scenarios, Figs. 3-5 run a tenant suite under each scavenging
+workload, Table II sweeps node counts).  This package turns one such
+simulation into a declarative, picklable :class:`ScenarioSpec` and fans
+sweeps out through a :class:`SweepRunner` with ``serial`` and ``process``
+backends, backed by a content-addressed on-disk :class:`ResultCache` so a
+warm re-run never recomputes an unchanged scenario.
+
+Determinism contract: a scenario's payload is a pure function of its spec
+(all randomness flows from the spec's seed through
+:class:`~repro.sim.rng.RngRegistry`), so the process backend is
+byte-identical to the serial one and cached payloads are byte-identical
+to fresh runs.  See DESIGN.md §9.
+"""
+
+from .cache import ResultCache, code_version
+from .runner import ScenarioError, ScenarioResult, SweepRunner
+from .scenarios import (consumption_scavenging_spec, consumption_specs,
+                        consumption_standalone_spec, fig2_spec,
+                        fig2_sweep_specs, metrics_from_payload,
+                        point_from_payload, run_consumption_points,
+                        run_scenario, slowdown_results, slowdown_suite_spec,
+                        slowdown_sweep)
+from .spec import ScenarioSpec
+from .stats import exec_stats
+
+__all__ = [
+    "ScenarioSpec", "ScenarioError", "ScenarioResult", "SweepRunner",
+    "ResultCache", "code_version", "exec_stats",
+    "run_scenario", "fig2_spec", "fig2_sweep_specs",
+    "slowdown_suite_spec", "slowdown_sweep", "slowdown_results",
+    "consumption_specs", "consumption_standalone_spec",
+    "consumption_scavenging_spec", "run_consumption_points",
+    "metrics_from_payload", "point_from_payload",
+]

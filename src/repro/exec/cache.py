@@ -1,0 +1,111 @@
+"""Content-addressed on-disk result cache for scenario payloads.
+
+Entries live under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``),
+one JSON blob per scenario, addressed by the spec's content hash plus a
+*code-version salt* — a digest of every ``repro`` source file — so any
+source change invalidates every cached result automatically.  The file
+name carries both halves (``s<spec-key>-v<fingerprint>.json``): a lookup
+that finds the spec key under a *different* salt counts and removes the
+stale entry (``exec_stats.cache_invalidations``) instead of serving it.
+
+Writes are atomic (temp file + rename) so a crashed run never leaves a
+half-written blob that a later run would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .spec import ScenarioSpec
+from .stats import exec_stats
+
+__all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (the cache salt).
+
+    Deliberately coarse: any edit under ``src/repro`` changes it, which
+    is the only cheap sound answer to "could this change move a payload
+    bit?".  Computed once per process.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:20]
+    return _code_version
+
+
+class ResultCache:
+    """Fingerprint-addressed JSON blobs with hit/miss/invalidation
+    accounting on :data:`~repro.exec.stats.exec_stats`."""
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 salt: str | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.salt = code_version() if salt is None else salt
+
+    # -- addressing ---------------------------------------------------------------
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / (f"s{spec.spec_key()[:32]}"
+                            f"-v{spec.fingerprint(self.salt)[:16]}.json")
+
+    # -- lookup / store -----------------------------------------------------------
+    def get(self, spec: ScenarioSpec) -> dict | None:
+        """The cached payload for *spec* under the current salt, or None.
+
+        Stale entries for the same spec under another salt are removed
+        and counted as invalidations; unreadable blobs count as misses.
+        """
+        expected = self.path_for(spec)
+        for stale in self.root.glob(f"s{spec.spec_key()[:32]}-v*.json"):
+            if stale != expected:
+                stale.unlink(missing_ok=True)
+                exec_stats.cache_invalidations += 1
+        if not expected.exists():
+            exec_stats.cache_misses += 1
+            return None
+        try:
+            entry = json.loads(expected.read_text())
+            payload = entry["payload"]
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            expected.unlink(missing_ok=True)
+            exec_stats.cache_misses += 1
+            return None
+        exec_stats.cache_hits += 1
+        return payload
+
+    def put(self, spec: ScenarioSpec, payload: dict) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        entry = {"fingerprint": spec.fingerprint(self.salt),
+                 "salt": self.salt, "spec": spec.as_dict(),
+                 "payload": payload}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        exec_stats.cache_stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("s*-v*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

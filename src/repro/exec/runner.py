@@ -1,0 +1,168 @@
+"""Sweep execution: serial and process backends over scenario specs.
+
+The process backend fans scenarios out over a spawn-context
+:class:`~concurrent.futures.ProcessPoolExecutor` (spawn is fork-safe
+everywhere and gives every worker a fresh, deterministic interpreter —
+the determinism contract's boundary).  Results always come back in
+**spec order** regardless of completion order; a failed scenario — an
+executor raise *or* a worker process dying — cancels the rest of the
+sweep and surfaces as a typed :class:`ScenarioError` naming the spec,
+never a hung pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from .cache import ResultCache
+from .scenarios import run_scenario
+from .spec import ScenarioSpec
+from .stats import exec_stats
+
+__all__ = ["SweepRunner", "ScenarioResult", "ScenarioError"]
+
+BACKENDS = ("serial", "process")
+
+
+class ScenarioError(RuntimeError):
+    """One scenario of a sweep failed (executor raise or worker death)."""
+
+    def __init__(self, spec: ScenarioSpec, message: str):
+        super().__init__(f"scenario {spec.label()!r} failed: {message}")
+        self.spec = spec
+        self.message = message
+
+    def __reduce__(self):
+        # args hold the formatted string, which default exception
+        # pickling would feed back into __init__ as *spec*.
+        return (type(self), (self.spec, self.message))
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's JSON-safe payload plus execution provenance."""
+
+    spec: ScenarioSpec
+    payload: dict
+    cached: bool = False
+    wall_s: float = 0.0
+
+
+class _WorkerFailure(Exception):
+    """Picklable carrier for an executor raise inside a worker.
+
+    Exceptions whose ``args`` don't match their ``__init__`` signature
+    (or that hold unpicklable state) break the pool's result channel on
+    the way back and masquerade as :class:`BrokenProcessPool`, losing
+    the real cause.  The worker therefore never lets the original
+    exception cross the boundary: it sends its rendered form instead.
+    """
+
+    def __init__(self, description: str):
+        super().__init__(description)
+
+
+def _execute_timed(spec: ScenarioSpec) -> tuple[dict, float]:
+    """Top-level so the spawn backend can pickle it by reference."""
+    t0 = time.perf_counter()
+    try:
+        payload = run_scenario(spec)
+    except Exception as exc:
+        tb = "".join(traceback.format_exception(exc)).rstrip()
+        raise _WorkerFailure(f"{exc!r}\n{tb}") from None
+    return payload, time.perf_counter() - t0
+
+
+def _failure_message(exc: Exception) -> str:
+    return str(exc) if isinstance(exc, _WorkerFailure) else repr(exc)
+
+
+class SweepRunner:
+    """Runs independent scenarios, optionally in parallel and cached.
+
+    ``backend="serial"`` executes in-process in spec order;
+    ``backend="process"`` fans out over *jobs* spawned workers.  With a
+    :class:`ResultCache` (or ``cache=True`` for the default location),
+    cached scenarios are answered without executing anything, and fresh
+    payloads are stored on the way out — both backends produce
+    byte-identical payloads, so cache entries are backend-agnostic.
+    """
+
+    def __init__(self, backend: str = "serial", jobs: int | None = None,
+                 cache: ResultCache | bool | None = None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.backend = backend
+        self.jobs = jobs
+        self.cache = ResultCache() if cache is True else (cache or None)
+
+    def run(self, specs: list[ScenarioSpec]) -> list[ScenarioResult]:
+        """Execute *specs*; results come back in spec order."""
+        specs = list(specs)
+        if self.backend == "process":
+            exec_stats.sweeps_process += 1
+        else:
+            exec_stats.sweeps_serial += 1
+        results: list[ScenarioResult | None] = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            payload = self.cache.get(spec) if self.cache else None
+            if payload is not None:
+                results[i] = ScenarioResult(spec, payload, cached=True)
+            else:
+                pending.append(i)
+        if pending:
+            if self.backend == "process" and len(pending) > 1:
+                self._run_process(specs, pending, results)
+            else:
+                self._run_serial(specs, pending, results)
+            if self.cache:
+                for i in pending:
+                    self.cache.put(specs[i], results[i].payload)
+        return results  # type: ignore[return-value]
+
+    # -- backends -----------------------------------------------------------------
+    def _run_serial(self, specs, pending, results) -> None:
+        for i in pending:
+            try:
+                payload, wall = _execute_timed(specs[i])
+            except Exception as exc:
+                exec_stats.worker_crashes += 1
+                raise ScenarioError(specs[i],
+                                    _failure_message(exc)) from exc
+            exec_stats.scenarios_run += 1
+            results[i] = ScenarioResult(specs[i], payload, wall_s=wall)
+
+    def _run_process(self, specs, pending, results) -> None:
+        jobs = min(self.jobs or (multiprocessing.cpu_count() or 1),
+                   len(pending))
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = {pool.submit(_execute_timed, specs[i]): i
+                       for i in pending}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next((f for f in done if f.exception() is not None),
+                          None)
+            if failed is not None:
+                for f in not_done:
+                    f.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                exc = failed.exception()
+                exec_stats.worker_crashes += 1
+                spec = specs[futures[failed]]
+                if isinstance(exc, BrokenProcessPool):
+                    raise ScenarioError(
+                        spec, "worker process died (pool broken)") from exc
+                raise ScenarioError(spec, _failure_message(exc)) from exc
+            for future, i in futures.items():
+                payload, wall = future.result()
+                exec_stats.scenarios_run += 1
+                results[i] = ScenarioResult(specs[i], payload, wall_s=wall)

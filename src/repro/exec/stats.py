@@ -1,0 +1,45 @@
+"""Process-wide executor counters (the ``flownet_stats`` pattern).
+
+Counted in the *parent* process only: cache lookups happen before fan-out
+and payloads are stored when they come back, so the counters are coherent
+regardless of backend.  ``repro.metrics.exec`` exposes them as snapshots
+and Monitor probes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ExecStats", "exec_stats"]
+
+
+class ExecStats:
+    """Cumulative sweep-executor counters; reset per experiment run.
+
+    ``scenarios_run`` counts simulations actually executed (any backend),
+    ``cache_hits`` the scenarios answered from the on-disk result cache,
+    ``cache_misses`` lookups that found nothing usable, and
+    ``cache_invalidations`` stale entries discarded because the spec's
+    code-version salt no longer matched.  ``cache_stores`` counts fresh
+    payloads written back.  ``worker_crashes`` counts scenario executions
+    surfaced as :class:`~repro.exec.runner.ScenarioError` (failed worker
+    process or raising executor).  ``sweeps_serial`` / ``sweeps_process``
+    count :meth:`SweepRunner.run` calls per backend.
+    """
+
+    _COUNTERS = ("scenarios_run", "cache_hits", "cache_misses",
+                 "cache_invalidations", "cache_stores", "worker_crashes",
+                 "sweeps_serial", "sweeps_process")
+    __slots__ = _COUNTERS
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: int(getattr(self, name)) for name in self._COUNTERS}
+
+
+#: Shared instance imported by ``repro.metrics.exec`` and the benchmarks.
+exec_stats = ExecStats()

@@ -1,5 +1,6 @@
 """Utilization summaries and text rendering for tables/figures."""
 
+from .exec import attach_exec_probes, exec_counters
 from .faults import (attach_fault_probes, fault_counters,
                      render_fault_report)
 from .placement import attach_placement_probes, placement_counters
@@ -13,4 +14,5 @@ __all__ = [
     "placement_counters", "attach_placement_probes",
     "solver_counters", "attach_solver_probes",
     "fault_counters", "attach_fault_probes", "render_fault_report",
+    "exec_counters", "attach_exec_probes",
 ]

@@ -18,24 +18,35 @@ __all__ = ["Monitor", "TimeSeries"]
 
 
 class TimeSeries:
-    """An append-only (time, value) series with summary helpers."""
+    """An append-only (time, value) series with summary helpers.
 
-    __slots__ = ("name", "times", "values")
+    The array view is memoized and invalidated on append, so summary
+    helpers (``mean``/``max``/``percentile``) called repeatedly between
+    samples — the experiment runners' hot path — stop re-converting the
+    full list each time.  Treat the returned arrays as read-only: they
+    are shared between callers until the next append.
+    """
+
+    __slots__ = ("name", "times", "values", "_arrays")
 
     def __init__(self, name: str):
         self.name = name
         self.times: list[float] = []
         self.values: list[float] = []
+        self._arrays: tuple[np.ndarray, np.ndarray] | None = None
 
     def append(self, t: float, v: float) -> None:
         self.times.append(t)
         self.values.append(v)
+        self._arrays = None
 
     def __len__(self) -> int:
         return len(self.values)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        return np.asarray(self.times), np.asarray(self.values)
+        if self._arrays is None:
+            self._arrays = (np.asarray(self.times), np.asarray(self.values))
+        return self._arrays
 
     def mean(self, t_start: float | None = None,
              t_end: float | None = None) -> float:
@@ -53,7 +64,7 @@ class TimeSeries:
         return float(v[mask].mean())
 
     def max(self) -> float:
-        return float(np.max(self.values)) if self.values else 0.0
+        return float(self.as_arrays()[1].max()) if self.values else 0.0
 
     def last(self) -> float:
         """The most recent sample (0.0 when nothing was sampled yet) —
@@ -61,7 +72,9 @@ class TimeSeries:
         return float(self.values[-1]) if self.values else 0.0
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.values, q)) if self.values else 0.0
+        if not self.values:
+            return 0.0
+        return float(np.percentile(self.as_arrays()[1], q))
 
 
 class Monitor:
@@ -78,12 +91,14 @@ class Monitor:
         self.env = env
         self.interval = interval
         self._probes: dict[str, Callable[[], float]] = {}
+        self._multi_probes: list[tuple[tuple[str, ...],
+                                       Callable[[], tuple]]] = []
         self.series: dict[str, TimeSeries] = {}
         self._running = False
         self._stopped = False
 
     def add_probe(self, name: str, probe: Callable[[], float]) -> TimeSeries:
-        if name in self._probes:
+        if name in self.series:
             raise ValueError(f"duplicate probe {name!r}")
         self._probes[name] = probe
         ts = TimeSeries(name)
@@ -96,6 +111,27 @@ class Monitor:
         fanned out per field — see ``repro.metrics.placement``)."""
         return {name: self.add_probe(name, probe)
                 for name, probe in probes.items()}
+
+    def add_multi_probe(self, names: tuple[str, ...],
+                        probe: Callable[[], tuple],
+                        ) -> dict[str, TimeSeries]:
+        """Register one fused probe feeding several series at once.
+
+        *probe* returns one float per name; the sampler calls it once per
+        tick.  This is the cheap way to sample related quantities that
+        share a traversal (e.g. per-class CPU/TX/RX read off each node's
+        counters in a single pass instead of one pass per metric).
+        """
+        for name in names:
+            if name in self.series:
+                raise ValueError(f"duplicate probe {name!r}")
+        out: dict[str, TimeSeries] = {}
+        for name in names:
+            ts = TimeSeries(name)
+            self.series[name] = ts
+            out[name] = ts
+        self._multi_probes.append((tuple(names), probe))
+        return out
 
     def start(self) -> None:
         if self._running:
@@ -111,6 +147,9 @@ class Monitor:
             t = self.env.now
             for name, probe in self._probes.items():
                 self.series[name].append(t, float(probe()))
+            for names, probe in self._multi_probes:
+                for name, value in zip(names, probe()):
+                    self.series[name].append(t, float(value))
             yield self.env.timeout(self.interval)
 
     def mean(self, name: str, t_start: float | None = None,

@@ -99,6 +99,12 @@ class StoreError(RuntimeError):
         self.code = code
         self.message = message
 
+    def __reduce__(self):
+        # args hold the formatted "code: message" string; default
+        # exception pickling would feed that back into __init__ as
+        # *code* and fail the StoreErrorCode lookup on unpickle.
+        return (type(self), (self.code, self.message))
+
     @property
     def retryable(self) -> bool:
         return self.code.retryable

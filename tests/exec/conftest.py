@@ -1,0 +1,19 @@
+"""Shared fixtures: isolate the executor counters and the cache dir."""
+
+import pytest
+
+from repro.exec import exec_stats
+
+
+@pytest.fixture(autouse=True)
+def _fresh_exec_stats():
+    exec_stats.reset()
+    yield
+    exec_stats.reset()
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return root

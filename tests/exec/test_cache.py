@@ -1,0 +1,65 @@
+"""ResultCache: hits, misses, salt invalidation, corruption handling."""
+
+from repro.exec import ResultCache, ScenarioSpec, exec_stats
+
+SPEC = ScenarioSpec.make("fig2", alpha=0.25, n_tasks=8)
+PAYLOAD = {"runtime_s": 1.25, "series": {"a": [[0.0], [1.0]]}}
+
+
+class TestCache:
+    def test_miss_then_hit(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        assert cache.root == cache_dir
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, PAYLOAD)
+        assert cache.get(SPEC) == PAYLOAD
+        assert exec_stats.cache_misses == 1
+        assert exec_stats.cache_hits == 1
+        assert exec_stats.cache_stores == 1
+
+    def test_spec_change_is_a_plain_miss(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        cache.put(SPEC, PAYLOAD)
+        other = ScenarioSpec.make("fig2", alpha=0.5, n_tasks=8)
+        assert cache.get(other) is None
+        assert exec_stats.cache_invalidations == 0
+        # the original entry survives
+        assert cache.get(SPEC) == PAYLOAD
+
+    def test_salt_change_invalidates_stale_entry(self, cache_dir):
+        old = ResultCache(salt="v1")
+        old.put(SPEC, PAYLOAD)
+        new = ResultCache(salt="v2")
+        assert new.get(SPEC) is None
+        assert exec_stats.cache_invalidations == 1
+        # the stale blob is gone even for the old salt
+        assert old.get(SPEC) is None
+        assert exec_stats.cache_invalidations == 1
+
+    def test_corrupt_blob_is_a_miss_and_recovers(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        path = cache.put(SPEC, PAYLOAD)
+        path.write_text("{not json")
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, PAYLOAD)
+        assert cache.get(SPEC) == PAYLOAD
+
+    def test_payload_round_trips_exactly(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        payload = {"x": 0.1 + 0.2, "y": [1e-300, 3, None, "s"],
+                   "nested": {"z": False}}
+        cache.put(SPEC, payload)
+        assert cache.get(SPEC) == payload
+
+    def test_clear(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        cache.put(SPEC, PAYLOAD)
+        assert cache.clear() == 1
+        assert cache.get(SPEC) is None
+
+    def test_explicit_root_beats_env(self, tmp_path, cache_dir):
+        explicit = tmp_path / "elsewhere"
+        cache = ResultCache(root=explicit, salt="v1")
+        cache.put(SPEC, PAYLOAD)
+        assert list(explicit.glob("s*-v*.json"))
+        assert not cache_dir.exists()

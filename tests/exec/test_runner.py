@@ -1,0 +1,131 @@
+"""SweepRunner: backends, ordering, cache integration, crash surfacing."""
+
+import json
+
+import pytest
+
+from repro.exec import (ResultCache, ScenarioError, ScenarioSpec,
+                        SweepRunner, exec_stats, fig2_spec)
+from repro.units import MB
+
+TINY = dict(n_tasks=4, file_size=4 * MB)
+
+
+def _payloads(results):
+    return json.dumps([r.payload for r in results], sort_keys=True)
+
+
+class TestSerialBackend:
+    def test_runs_in_spec_order(self):
+        specs = [fig2_spec(a, **TINY) for a in (0.5, 0.0, 1.0)]
+        results = SweepRunner("serial").run(specs)
+        assert [r.spec for r in results] == specs
+        assert [r.payload["alpha"] for r in results] == [0.5, 0.0, 1.0]
+        assert all(not r.cached and r.wall_s > 0 for r in results)
+        assert exec_stats.scenarios_run == 3
+        assert exec_stats.sweeps_serial == 1
+
+    def test_unknown_kind_is_a_scenario_error(self):
+        with pytest.raises(ScenarioError, match="unknown scenario kind"):
+            SweepRunner("serial").run([ScenarioSpec.make("nonesuch")])
+        assert exec_stats.worker_crashes == 1
+
+    def test_executor_raise_is_a_scenario_error(self):
+        with pytest.raises(ScenarioError, match="debug-crash"):
+            SweepRunner("serial").run([ScenarioSpec.make("debug-crash")])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner("threads")
+        with pytest.raises(ValueError):
+            SweepRunner("process", jobs=0)
+
+
+class TestProcessBackend:
+    def test_matches_serial_byte_for_byte(self):
+        specs = [fig2_spec(a, **TINY, keep_series=True)
+                 for a in (0.0, 0.5, 1.0)]
+        serial = SweepRunner("serial").run(specs)
+        parallel = SweepRunner("process", jobs=2).run(specs)
+        assert _payloads(serial) == _payloads(parallel)
+        assert [r.spec for r in parallel] == specs
+
+    def test_soft_crash_surfaces_typed(self):
+        specs = [fig2_spec(0.5, **TINY),
+                 ScenarioSpec.make("debug-crash")]
+        with pytest.raises(ScenarioError, match="debug-crash"):
+            SweepRunner("process", jobs=2).run(specs)
+        assert exec_stats.worker_crashes == 1
+
+    def test_pickle_hostile_exception_keeps_its_cause(self):
+        # An executor exception that cannot cross the result channel
+        # raw (args/__init__ mismatch) must still surface with its real
+        # message, not dissolve into "pool broken".
+        specs = [ScenarioSpec.make("debug-crash", pickle_hostile=True),
+                 ScenarioSpec.make("debug-crash", pickle_hostile=True,
+                                   tag=1)]
+        with pytest.raises(ScenarioError,
+                           match="13: debug-crash scenario failed") as err:
+            SweepRunner("process", jobs=2).run(specs)
+        assert "pool broken" not in str(err.value)
+
+    def test_scenario_error_pickles(self):
+        import pickle
+
+        err = pickle.loads(pickle.dumps(
+            ScenarioError(fig2_spec(0.5, **TINY), "boom")))
+        assert err.message == "boom"
+        assert err.spec.param("alpha") == 0.5
+        assert "failed: boom" in str(err)
+
+    def test_worker_death_surfaces_typed(self):
+        # hard=True makes the worker os._exit(3): the pool breaks and the
+        # runner must surface it as ScenarioError, not hang.
+        specs = [ScenarioSpec.make("debug-crash", hard=True),
+                 ScenarioSpec.make("debug-crash", hard=True, tag=1)]
+        with pytest.raises(ScenarioError, match="worker process died"):
+            SweepRunner("process", jobs=2).run(specs)
+        assert exec_stats.worker_crashes == 1
+
+    def test_single_pending_scenario_stays_in_process(self):
+        # Degenerate fan-out of one: not worth a worker process.
+        results = SweepRunner("process", jobs=4).run([fig2_spec(0.5,
+                                                                **TINY)])
+        assert results[0].payload["alpha"] == 0.5
+        assert exec_stats.scenarios_run == 1
+
+
+class TestCacheIntegration:
+    def test_warm_run_executes_nothing(self, cache_dir):
+        specs = [fig2_spec(a, **TINY) for a in (0.0, 0.5, 1.0)]
+        cache = ResultCache(salt="v1")
+        cold = SweepRunner("serial", cache=cache).run(specs)
+        assert exec_stats.scenarios_run == 3
+        assert exec_stats.cache_stores == 3
+        warm = SweepRunner("serial", cache=cache).run(specs)
+        assert exec_stats.scenarios_run == 3  # unchanged: zero new sims
+        assert exec_stats.cache_hits == 3
+        assert all(r.cached for r in warm)
+        assert _payloads(cold) == _payloads(warm)
+
+    def test_cache_true_uses_default_location(self, cache_dir):
+        specs = [fig2_spec(0.5, **TINY)]
+        SweepRunner("serial", cache=True).run(specs)
+        assert list(cache_dir.glob("s*-v*.json"))
+
+    def test_process_backend_reads_and_feeds_the_cache(self, cache_dir):
+        specs = [fig2_spec(a, **TINY) for a in (0.0, 0.5, 1.0)]
+        cache = ResultCache(salt="v1")
+        cold = SweepRunner("process", jobs=2, cache=cache).run(specs)
+        warm = SweepRunner("serial", cache=cache).run(specs)
+        assert all(r.cached for r in warm)
+        assert _payloads(cold) == _payloads(warm)
+
+    def test_partial_warmth_runs_only_the_new_specs(self, cache_dir):
+        cache = ResultCache(salt="v1")
+        SweepRunner("serial", cache=cache).run([fig2_spec(0.0, **TINY)])
+        exec_stats.reset()
+        specs = [fig2_spec(0.0, **TINY), fig2_spec(1.0, **TINY)]
+        results = SweepRunner("serial", cache=cache).run(specs)
+        assert [r.cached for r in results] == [True, False]
+        assert exec_stats.scenarios_run == 1

@@ -1,0 +1,80 @@
+"""Monitor hot path: memoized array views and fused multi-probes."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, Monitor
+from repro.sim.monitor import TimeSeries
+
+
+class TestTimeSeriesArrayCache:
+    def test_as_arrays_is_memoized_until_append(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        first = ts.as_arrays()
+        assert ts.as_arrays() is first
+        ts.append(1.0, 2.0)
+        second = ts.as_arrays()
+        assert second is not first
+        np.testing.assert_array_equal(second[1], [1.0, 2.0])
+
+    def test_summaries_use_the_cached_view(self):
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.append(float(t), float(t) * 2)
+        assert ts.mean() == 9.0
+        assert ts.max() == 18.0
+        assert ts.percentile(50) == 9.0
+        assert ts.last() == 18.0
+        ts.append(10.0, 100.0)
+        assert ts.max() == 100.0
+
+    def test_empty_series_summaries(self):
+        ts = TimeSeries("x")
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+        assert ts.percentile(99) == 0.0
+
+    def test_windowed_mean_still_works(self):
+        ts = TimeSeries("x")
+        for t in range(4):
+            ts.append(float(t), float(t))
+        assert ts.mean(t_start=2.0) == 2.5
+        assert ts.mean(t_end=1.0) == 0.5
+        assert ts.mean(t_start=9.0) == 0.0
+
+
+class TestMultiProbe:
+    def test_fused_probe_matches_individual_probes(self):
+        env = Environment()
+        mon = Monitor(env, interval=1.0)
+        state = {"v": 0.0}
+        mon.add_probe("solo.a", lambda: state["v"])
+        mon.add_probe("solo.b", lambda: state["v"] * 2)
+        mon.add_multi_probe(("fused.a", "fused.b"),
+                            lambda: (state["v"], state["v"] * 2))
+
+        def driver():
+            for _ in range(3):
+                state["v"] += 1.0
+                yield env.timeout(1.0)
+
+        mon.start()
+        proc = env.process(driver())
+        env.run(until=proc)
+        mon.stop()
+        env.run()
+        for suffix in ("a", "b"):
+            solo = mon.series[f"solo.{suffix}"]
+            fused = mon.series[f"fused.{suffix}"]
+            assert solo.times == fused.times
+            assert solo.values == fused.values
+
+    def test_duplicate_names_rejected_across_probe_kinds(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.add_multi_probe(("m.a", "m.b"), lambda: (0.0, 0.0))
+        with pytest.raises(ValueError):
+            mon.add_probe("m.a", lambda: 0.0)
+        with pytest.raises(ValueError):
+            mon.add_multi_probe(("m.c", "m.b"), lambda: (0.0, 0.0))

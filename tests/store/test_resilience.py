@@ -64,6 +64,18 @@ class TestErrorTaxonomy:
         resp = Response(ok=False, error="whatever happened")
         assert resp.code is StoreErrorCode.BAD_REQUEST
 
+    def test_store_error_pickles(self):
+        # args hold the formatted string, so the default exception
+        # reduce would rebuild with the wrong __init__ arguments — a
+        # worker raising StoreError used to break the sweep pool.
+        import pickle
+
+        err = pickle.loads(pickle.dumps(
+            StoreError(StoreErrorCode.FULL, "put would exceed capacity")))
+        assert err.code is StoreErrorCode.FULL
+        assert err.message == "put would exceed capacity"
+        assert str(err) == "full: put would exceed capacity"
+
     def test_raise_for_status(self):
         with pytest.raises(StoreError) as err:
             Response(ok=False, code=StoreErrorCode.AUTH,
