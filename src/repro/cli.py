@@ -126,7 +126,8 @@ def cmd_table2(args) -> int:
     rows = []
     for p in points:
         if not p.fits:
-            rows.append([p.label, str(p.n_nodes), "unable to run", "-"])
+            cell = p.degraded.render() if p.degraded else "unable to run"
+            rows.append([p.label, str(p.n_nodes), cell, "-"])
         else:
             rows.append([p.label, str(p.n_nodes), f"{p.runtime_s:.0f} s",
                          f"{p.node_hours:.2f}"])

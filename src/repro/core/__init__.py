@@ -1,5 +1,8 @@
 """The paper's experiments, wired: deployments, slowdowns, consumption."""
 
+from .admission import AdmissionReport, predict_admission, predicted_files
+from .degraded import (DEGRADABLE_ERRORS, DegradedReason, DegradedResult,
+                       classify_failure)
 from .deployment import DeploymentConfig, MemFSSDeployment
 from .experiment import (FIG2_ALPHAS, BaselineMetrics, baseline_run,
                          baseline_sweep)
@@ -9,6 +12,9 @@ from .consumption import (ConsumptionPoint, footprint_of, normalized,
                           run_scavenging, run_standalone)
 
 __all__ = [
+    "AdmissionReport", "predict_admission", "predicted_files",
+    "DegradedReason", "DegradedResult", "DEGRADABLE_ERRORS",
+    "classify_failure",
     "DeploymentConfig", "MemFSSDeployment",
     "BaselineMetrics", "baseline_run", "baseline_sweep", "FIG2_ALPHAS",
     "SlowdownResult", "measure_slowdowns", "average_slowdown",

@@ -1,0 +1,176 @@
+"""Placement-aware admission control for consumption rows (Table II).
+
+The old fits-check compared the workflow's *aggregate* footprint (plus a
+fudge factor) against *aggregate* capacity — which both under- and
+over-admitted: real HRW placement overflows individual stores by
+stripe-granularity slivers long before the aggregate runs out (the
+ROADMAP's ``scavenging-4`` crash), while runs the aggregate check
+rejected could in fact complete thanks to chain spill.
+
+:func:`predict_admission` instead *bin-packs the actual stripe plan*:
+it replays the workflow's predicted file sequence through the file
+system's own batch planner (:meth:`~repro.fs.placement.PlacementPolicy
+.plan_file`), charges every stripe (and parity block and replica) to its
+planned store, and models the write path's capacity spill down the HRW
+chain when a store's budget runs out.  ``fits`` therefore means: *under
+this placement, with spill, every stripe finds a store*.
+
+``headroom`` survives only as a documented safety margin: each store's
+budget is its capacity scaled by ``1 - headroom``.  It covers the two
+ways the prediction is approximate — output-file inode order depends on
+the runtime schedule (staged inputs are exact; task outputs are replayed
+in task order), and runtime metadata (directory sets, the file registry)
+is modeled as a flat per-file allowance — plus transient double-residency
+during evacuations.  The default is
+:data:`~repro.core.consumption.IMBALANCE_HEADROOM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fs.capacity import pressure_stats
+from ..fs.memfss import MemFSS
+from ..fs.metadata import file_meta_key
+from ..fs.erasure import group_layout
+from ..fs.striping import stripe_count, stripe_spans
+from ..workflows import Workflow
+
+__all__ = ["AdmissionReport", "predict_admission", "predicted_files"]
+
+#: Flat per-file allowance for metadata (FileMeta record, directory
+#: entry, registry entry), charged to the file's metadata server.
+META_OVERHEAD = 4096.0
+
+
+@dataclass(frozen=True)
+class AdmissionReport:
+    """Outcome of one placement-aware admission check."""
+
+    fits: bool
+    detail: str = ""
+    n_files: int = 0
+    n_stripes: int = 0
+    spilled_stripes: int = 0     # stripes placed below their ideal rank
+    unplaced_stripes: int = 0    # stripes no store could admit
+    worst_store: str = ""
+    worst_fill: float = 0.0      # predicted fill fraction of that store
+    headroom: float = 0.0
+
+
+def predicted_files(workflow: Workflow) -> list[tuple[str, float]]:
+    """``(path, nbytes)`` of every file the run creates, in predicted
+    creation order: staged external inputs in sorted-path order (exactly
+    what :meth:`~repro.workflows.engine.WorkflowEngine.stage_in` does),
+    then task outputs in task order (an approximation of the runtime
+    completion order — covered by the predictor's headroom)."""
+    staged: dict[str, float] = {}
+    for t in workflow.tasks.values():
+        for f in t.inputs:
+            if workflow.producer_of(f.path) is None:
+                staged.setdefault(f.path, float(f.nbytes))
+    files = [(path, staged[path]) for path in sorted(staged)]
+    for t in workflow.tasks.values():
+        files.extend((f.path, float(f.nbytes)) for f in t.outputs)
+    return files
+
+
+def _stripe_lengths(size: float, fs: MemFSS) -> list[float]:
+    """Per-key payload length in plan order (stripes, then parity)."""
+    lengths = [float(s.length) for s in stripe_spans(int(size),
+                                                     fs.stripe_size)]
+    if fs.erasure is not None:
+        k, m = fs.erasure
+        for first, count in group_layout(len(lengths), k):
+            plen = max(lengths[first:first + count], default=0.0)
+            lengths.extend([plen] * m)
+    return lengths
+
+
+def predict_admission(workflow: Workflow, fs: MemFSS,
+                      headroom: float | None = None) -> AdmissionReport:
+    """Bin-pack the workflow's stripe plans against per-store budgets.
+
+    Assumes a no-GC run (everything written stays resident — the
+    conservative Table II regime).  Pure Python over the planner: no
+    simulation state is touched and the file system's inode counter is
+    not consumed.
+    """
+    if headroom is None:
+        from .consumption import IMBALANCE_HEADROOM
+        headroom = IMBALANCE_HEADROOM
+    if not 0.0 <= headroom < 1.0:
+        raise ValueError("headroom must be in [0, 1)")
+    pressure_stats.admission_checks += 1
+    policy = fs.policy
+    servers = fs.servers
+    budgets: dict[str, float] = {}
+    overhead: dict[str, float] = {}
+    for name in policy.all_nodes:
+        server = servers.get(name)
+        if server is None:
+            continue
+        budgets[name] = (server.kv.capacity * (1.0 - headroom)
+                         - server.kv.used_bytes)
+        overhead[name] = server.kv.key_overhead
+
+    files = predicted_files(workflow)
+    want = fs.replication
+    spilled = unplaced = n_stripes = 0
+    first_failure = ""
+    for inode, (path, nbytes) in enumerate(files, start=1):
+        n = stripe_count(int(nbytes), fs.stripe_size)
+        plan = policy.plan_file(inode, n, erasure=fs.erasure)
+        lengths = _stripe_lengths(nbytes, fs)
+        n_stripes += len(lengths)
+        for idx in range(len(plan.keys)):
+            cost = lengths[idx]
+            planned = plan.chain(idx, k=want)
+            if all(budgets.get(t, 0.0) >= cost + overhead.get(t, 0.0)
+                   for t in planned):
+                for t in planned:
+                    budgets[t] -= cost + overhead[t]
+                continue
+            # Model the write path's capacity spill down the full chain.
+            placed = 0
+            top = set(planned)
+            for t in plan.chain(idx):
+                if budgets.get(t, 0.0) >= cost + overhead.get(t, 0.0):
+                    budgets[t] -= cost + overhead[t]
+                    placed += 1
+                    if t not in top:
+                        spilled += 1
+                    if placed >= want:
+                        break
+            if placed == 0:
+                unplaced += 1
+                if not first_failure:
+                    first_failure = (
+                        f"stripe {idx} of {path!r} ({cost:.3g} B): no "
+                        f"store has budget left")
+        # Metadata allowance on the file's meta server.
+        meta_node = fs.meta_placer.place(file_meta_key(path))
+        if budgets.get(meta_node, 0.0) >= META_OVERHEAD:
+            budgets[meta_node] -= META_OVERHEAD
+        else:
+            unplaced += 1
+            if not first_failure:
+                first_failure = (f"metadata of {path!r}: server "
+                                 f"{meta_node} has no budget left")
+
+    worst_store, worst_fill = "", 0.0
+    for name, budget in budgets.items():
+        capacity = servers[name].kv.capacity
+        fill = (capacity * (1.0 - headroom) - budget) / capacity
+        if fill > worst_fill:
+            worst_store, worst_fill = name, fill
+    fits = unplaced == 0
+    if not fits:
+        pressure_stats.admission_rejections += 1
+    detail = "" if fits else (
+        f"{unplaced} of {n_stripes} stripes unplaceable under "
+        f"headroom {headroom:.0%}; first: {first_failure}")
+    return AdmissionReport(
+        fits=fits, detail=detail, n_files=len(files), n_stripes=n_stripes,
+        spilled_stripes=spilled, unplaced_stripes=unplaced,
+        worst_store=worst_store, worst_fill=worst_fill, headroom=headroom)

@@ -12,10 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster import build_das5
-from ..fs import build_memfs
+from ..fs import build_memfs, pressure_stats
 from ..store import StoreServer
 from ..units import GB
 from ..workflows import Workflow, WorkflowEngine
+from .admission import predict_admission
+from .degraded import DEGRADABLE_ERRORS, DegradedReason, DegradedResult, \
+    classify_failure
 from .deployment import DeploymentConfig, MemFSSDeployment
 
 __all__ = ["ConsumptionPoint", "run_standalone", "run_scavenging",
@@ -31,12 +34,22 @@ class ConsumptionPoint:
     fits: bool
     runtime_s: float = float("nan")
     node_hours: float = float("nan")
+    #: Why the row produced no numbers (None when fits).  Typed, so the
+    #: CLI renders "unable to run (<reason>)" instead of a traceback.
+    degraded: DegradedResult | None = None
 
     def normalized_against(self, base: "ConsumptionPoint",
                            ) -> tuple[float, float]:
         """(normalized runtime, normalized node-hours) vs. *base* (Fig. 7)."""
         return (self.runtime_s / base.runtime_s,
                 self.node_hours / base.node_hours)
+
+
+def _degraded_point(label: str, n_nodes: int,
+                    degraded: DegradedResult) -> ConsumptionPoint:
+    pressure_stats.degraded_rows += 1
+    return ConsumptionPoint(label=label, n_nodes=n_nodes, fits=False,
+                            degraded=degraded)
 
 
 def footprint_of(workflow: Workflow, key_overhead: float = 4096.0) -> float:
@@ -55,8 +68,12 @@ def footprint_of(workflow: Workflow, key_overhead: float = 4096.0) -> float:
             + n_files * key_overhead)
 
 
-#: Placement is balanced but not perfect: a deployment needs this much
-#: aggregate slack over the raw footprint to be safe per node.
+#: Safety margin for the placement-aware admission predictor
+#: (:func:`~repro.core.admission.predict_admission`): each store's budget
+#: is scaled by ``1 - IMBALANCE_HEADROOM`` to absorb the prediction's
+#: approximations (output inode ordering, runtime metadata).  It is *not*
+#: a fits-check by itself any more — admission bin-packs the actual
+#: stripe plan per store.
 IMBALANCE_HEADROOM = 0.08
 
 
@@ -66,14 +83,12 @@ def run_standalone(workflow: Workflow, n_nodes: int,
                    seed: int = 0) -> ConsumptionPoint:
     """Uniform MemFS on *n_nodes* (tasks + data everywhere), no GC.
 
-    If the workflow's footprint (plus the imbalance headroom) exceeds the
-    aggregate memory, the row is Table II's "Unable to run, data does not
-    fit".
+    Admission bin-packs the workflow's stripe plan against the per-node
+    stores; a rejected row is Table II's "Unable to run, data does not
+    fit".  An admitted row that still exhausts capacity (or loses data)
+    at runtime degrades to a typed reason instead of raising.
     """
-    need = footprint_of(workflow) * (1 + IMBALANCE_HEADROOM)
-    if need > n_nodes * store_capacity:
-        return ConsumptionPoint(label=f"standalone-{n_nodes}",
-                                n_nodes=n_nodes, fits=False)
+    label = f"standalone-{n_nodes}"
     cluster = build_das5(n_nodes=n_nodes, seed=seed)
     env = cluster.env
     nodes = list(cluster.nodes)
@@ -83,10 +98,17 @@ def run_standalone(workflow: Workflow, n_nodes: int,
                for n in nodes}
     fs = build_memfs(env, cluster.fabric, nodes, servers,
                      stripe_size=stripe_size, write_window=2)
+    report = predict_admission(workflow, fs)
+    if not report.fits:
+        return _degraded_point(label, n_nodes, DegradedResult(
+            DegradedReason.DATA_DOES_NOT_FIT, report.detail))
     engine = WorkflowEngine(env, fs, gc_intermediates=False)
-    result = engine.execute(workflow)
+    try:
+        result = engine.execute(workflow)
+    except DEGRADABLE_ERRORS as exc:
+        return _degraded_point(label, n_nodes, classify_failure(exc))
     return ConsumptionPoint(
-        label=f"standalone-{n_nodes}", n_nodes=n_nodes, fits=True,
+        label=label, n_nodes=n_nodes, fits=True,
         runtime_s=result.makespan,
         node_hours=n_nodes * result.makespan / 3600.0)
 
@@ -101,14 +123,13 @@ def run_scavenging(workflow: Workflow, n_own: int, n_victim: int,
 
     α defaults to the capacity-proportional split (each node class holds
     data in proportion to what it can store), the balanced choice §IV-B
-    motivates.
+    motivates.  Admission and degradation follow :func:`run_standalone`:
+    bin-packed prediction up front, typed degraded result on runtime
+    capacity/loss failures.
     """
+    label = f"scavenging-{n_own}"
     own_cap = n_own * own_store_capacity
     victim_cap = n_victim * victim_memory
-    need = footprint_of(workflow) * (1 + IMBALANCE_HEADROOM)
-    if need > own_cap + victim_cap:
-        return ConsumptionPoint(label=f"scavenging-{n_own}",
-                                n_nodes=n_own, fits=False)
     if alpha is None:
         alpha = own_cap / (own_cap + victim_cap)
     config = DeploymentConfig(
@@ -117,11 +138,18 @@ def run_scavenging(workflow: Workflow, n_own: int, n_victim: int,
         own_store_capacity=own_store_capacity,
         stripe_size=stripe_size, seed=seed)
     deployment = MemFSSDeployment(config)
+    report = predict_admission(workflow, deployment.fs)
+    if not report.fits:
+        return _degraded_point(label, n_own, DegradedResult(
+            DegradedReason.DATA_DOES_NOT_FIT, report.detail))
     engine = WorkflowEngine(deployment.env, deployment.fs,
                             gc_intermediates=False)
-    result = engine.execute(workflow)
+    try:
+        result = engine.execute(workflow)
+    except DEGRADABLE_ERRORS as exc:
+        return _degraded_point(label, n_own, classify_failure(exc))
     return ConsumptionPoint(
-        label=f"scavenging-{n_own}", n_nodes=n_own, fits=True,
+        label=label, n_nodes=n_own, fits=True,
         runtime_s=result.makespan,
         node_hours=n_own * result.makespan / 3600.0)
 

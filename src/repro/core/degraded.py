@@ -1,0 +1,101 @@
+"""Typed degraded-mode results for sweep rows (Table II's "Unable to run").
+
+A sweep row that cannot produce numbers — the admission predictor rejects
+it up front, or the simulation exhausts capacity / loses stores mid-run —
+becomes a :class:`DegradedResult` instead of a traceback.  The reason
+taxonomy is deliberately small and stable: it is rendered in table2/CLI
+output ("unable to run (capacity-exhausted)"), serialized through the
+``repro.exec`` result cache, and asserted on by the chaos soak.
+
+:func:`classify_failure` maps the runtime exceptions a guarded execution
+can legally raise onto the taxonomy; anything outside
+:data:`DEGRADABLE_ERRORS` is a programming error and must keep raising.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cluster.container import CapExceeded
+from ..cluster.node import OutOfMemory
+from ..fs.memfss import FileNotFound, FsError
+from ..store import StoreError, StoreErrorCode, StoreFull
+
+__all__ = ["DegradedReason", "DegradedResult", "DEGRADABLE_ERRORS",
+           "classify_failure"]
+
+
+class DegradedReason(str, enum.Enum):
+    """Why a sweep row could not produce numbers.
+
+    A ``str`` subclass (like :class:`~repro.store.StoreErrorCode`) so the
+    values serialize as plain strings through JSON caches and pickles.
+    """
+
+    #: The placement-aware admission predictor rejected the run up front.
+    DATA_DOES_NOT_FIT = "data-does-not-fit"
+    #: Capacity ran out at runtime even after HRW chain spill.
+    CAPACITY_EXHAUSTED = "capacity-exhausted"
+    #: Too many stores crashed/unreachable: data was lost mid-run.
+    STORES_LOST = "stores-lost"
+    #: The run failed under an injected fault schedule.
+    FAULT_SCHEDULE = "fault-schedule"
+    #: A file-system/workflow failure not covered above.
+    WORKFLOW_ERROR = "workflow-error"
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """A typed "unable to run" outcome, safe to cache, pickle and render."""
+
+    reason: DegradedReason
+    detail: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.reason, DegradedReason):
+            object.__setattr__(self, "reason", DegradedReason(self.reason))
+
+    def render(self) -> str:
+        """The table2/CLI cell: ``unable to run (<reason>)``."""
+        return f"unable to run ({self.reason.value})"
+
+    def to_payload(self) -> dict:
+        return {"reason": self.reason.value, "detail": self.detail}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DegradedResult":
+        return cls(reason=DegradedReason(payload["reason"]),
+                   detail=payload.get("detail", ""))
+
+
+#: Exception types a guarded sweep row may degrade on.  Everything else
+#: (TypeError, assertion failures, ...) is a bug and propagates.
+DEGRADABLE_ERRORS = (StoreError, StoreFull, CapExceeded, OutOfMemory,
+                     FsError)
+
+
+def classify_failure(exc: BaseException, *,
+                     faulted: bool = False) -> DegradedResult:
+    """Map a degradable runtime failure onto the reason taxonomy.
+
+    With *faulted* true (a fault schedule was active), losses that trace
+    back to dead stores are attributed to ``FAULT_SCHEDULE`` rather than
+    ``STORES_LOST``.
+    """
+    detail = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, StoreError):
+        if exc.code is StoreErrorCode.FULL:
+            return DegradedResult(DegradedReason.CAPACITY_EXHAUSTED, detail)
+        if exc.code in (StoreErrorCode.UNAVAILABLE, StoreErrorCode.TIMEOUT):
+            reason = (DegradedReason.FAULT_SCHEDULE if faulted
+                      else DegradedReason.STORES_LOST)
+            return DegradedResult(reason, detail)
+        return DegradedResult(DegradedReason.WORKFLOW_ERROR, detail)
+    if isinstance(exc, (StoreFull, CapExceeded, OutOfMemory)):
+        return DegradedResult(DegradedReason.CAPACITY_EXHAUSTED, detail)
+    if isinstance(exc, FileNotFound):
+        reason = (DegradedReason.FAULT_SCHEDULE if faulted
+                  else DegradedReason.STORES_LOST)
+        return DegradedResult(reason, detail)
+    return DegradedResult(DegradedReason.WORKFLOW_ERROR, detail)

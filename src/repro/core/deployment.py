@@ -38,6 +38,10 @@ class DeploymentConfig:
     replication: int = 1
     erasure: tuple[int, int] | None = None
     write_window: int = 2
+    # Capacity-aware write path: consult store free space and spill down
+    # the HRW chain instead of raising StoreFull.  Off reproduces the
+    # pre-guard crash-on-full behavior (used by the overhead benchmark).
+    capacity_guard: bool = True
     password: str = "memfss-secret"
     seed: int = 0
     # Store-client resilience posture: per-op deadline (seconds of
@@ -98,6 +102,7 @@ class MemFSSDeployment:
                          replication=config.replication,
                          erasure=config.erasure,
                          write_window=config.write_window,
+                         capacity_guard=config.capacity_guard,
                          io_deadline=config.io_deadline,
                          io_retry=RetryPolicy(attempts=max(
                              1, config.io_retries)),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..fs import pressure_stats
 from ..sim import Monitor
 from ..units import GB, MB
 from ..workflows import dd_bag
@@ -70,6 +71,13 @@ def baseline_run(alpha: float, n_tasks: int = 2048,
                         class_probe(dep.own))
     mon.add_multi_probe(("victim.cpu", "victim.tx", "victim.rx"),
                         class_probe(dep.victims))
+    # Lazy: repro.metrics pulls in repro.exec, which imports this module.
+    from ..metrics.pressure import attach_fill_probes, attach_pressure_probes
+    # Process-wide counters: start each scenario from zero so payloads
+    # stay pure functions of the spec (serial == process backend).
+    pressure_stats.reset()
+    attach_pressure_probes(mon)
+    attach_fill_probes(mon, dep.fs)
     mon.start()
     wf = dd_bag(n_tasks=n_tasks, file_size=file_size)
     result = dep.engine.execute(wf)

@@ -23,6 +23,7 @@ from .scenarios import (consumption_scavenging_spec, consumption_specs,
                         point_from_payload, run_consumption_points,
                         run_scenario, slowdown_results, slowdown_suite_spec,
                         slowdown_sweep)
+from .soak import build_soak_schedule, run_soak, run_soak_suite, soak_spec
 from .spec import ScenarioSpec
 from .stats import exec_stats
 
@@ -34,4 +35,5 @@ __all__ = [
     "consumption_specs", "consumption_standalone_spec",
     "consumption_scavenging_spec", "run_consumption_points",
     "metrics_from_payload", "point_from_payload",
+    "build_soak_schedule", "soak_spec", "run_soak", "run_soak_suite",
 ]

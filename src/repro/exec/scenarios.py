@@ -24,6 +24,7 @@ import os
 from typing import Any, Callable
 
 from ..core.consumption import ConsumptionPoint, run_scavenging, run_standalone
+from ..core.degraded import DegradedResult
 from ..core.deployment import DeploymentConfig, MemFSSDeployment
 from ..core.experiment import FIG2_ALPHAS, BaselineMetrics, baseline_run
 from ..core.slowdown import BackgroundWorkload, SlowdownResult, _run_suite
@@ -249,7 +250,12 @@ def _run_consumption(spec: ScenarioSpec) -> dict:
 
 
 def point_from_payload(payload: dict) -> ConsumptionPoint:
-    return ConsumptionPoint(**payload)
+    fields = dict(payload)
+    degraded = fields.get("degraded")
+    if degraded is not None and not isinstance(degraded, DegradedResult):
+        # asdict() flattened it to {"reason": ..., "detail": ...}.
+        fields["degraded"] = DegradedResult.from_payload(degraded)
+    return ConsumptionPoint(**fields)
 
 
 def consumption_standalone_spec(workflow: str, workflow_kwargs: dict,
@@ -301,6 +307,15 @@ def run_consumption_points(specs: list[ScenarioSpec], jobs: int = 1,
     runner = SweepRunner(backend="process" if jobs > 1 else "serial",
                          jobs=jobs, cache=cache)
     return [point_from_payload(r.payload) for r in runner.run(specs)]
+
+
+# -- chaos soak ----------------------------------------------------------------
+@scenario("chaos-soak")
+def _run_chaos_soak(spec: ScenarioSpec) -> dict:
+    # Registered here (this module is imported by every backend worker);
+    # the harness itself stays a lazy import.
+    from .soak import run_soak
+    return run_soak(spec)
 
 
 # -- crash hook ----------------------------------------------------------------

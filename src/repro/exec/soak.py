@@ -1,0 +1,213 @@
+"""Chaos soak: randomized fault schedules composed with capacity pressure.
+
+One soak run wires a deliberately *tight* scavenging deployment (stores
+sized so the workload fills a large fraction of aggregate memory), fires
+a seeded random :class:`~repro.faults.FaultSchedule` — lease
+revocations, storms, link degradation, partitions, victim crashes and
+tenant memory-pressure waves — while a dd bag-of-tasks writes through
+the capacity-guarded path, with the repair daemon sweeping in the
+background.
+
+The invariant under test is the robustness contract of this subsystem:
+**no seed may escape the taxonomy**.  A run either completes or degrades
+to a typed :class:`~repro.core.degraded.DegradedResult`; any other
+exception propagates out of :func:`run_soak` and fails the soak.  Each
+run's payload carries the injected-fault log plus the pressure and fault
+counters, so the CI lane can publish them as an artifact.
+
+Runnable directly for the CI lane::
+
+    python -m repro.exec.soak --seeds 5 --out results/pressure-metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..core.degraded import DEGRADABLE_ERRORS, classify_failure
+from ..core.deployment import DeploymentConfig, MemFSSDeployment
+from ..faults import FaultEvent, FaultInjector, FaultSchedule, fault_stats
+from ..fs import pressure_stats
+from ..fs.scavenger import RepairDaemon
+from ..sim.rng import RngRegistry
+from ..units import MB
+from ..workflows import WorkflowEngine, dd_bag
+from .spec import ScenarioSpec
+
+__all__ = ["build_soak_schedule", "soak_spec", "run_soak", "run_soak_suite",
+           "main"]
+
+#: Fault mix: weighted toward capacity pressure (this is a *pressure*
+#: soak), with enough membership churn to exercise spill + repair.
+_KINDS = ("pressure_wave", "revoke", "revoke_storm", "degrade",
+          "partition", "crash")
+_KIND_WEIGHTS = (0.35, 0.20, 0.10, 0.15, 0.10, 0.10)
+
+
+def build_soak_schedule(seed: int, *, horizon: float = 10.0,
+                        n_events: int = 8,
+                        rng: RngRegistry | None = None) -> FaultSchedule:
+    """A seeded random schedule mixing churn with pressure waves.
+
+    Same seed → byte-identical schedule (times, kinds, parameters), the
+    property the determinism test pins.
+    """
+    stream = (rng or RngRegistry(seed)).stream("soak-schedule")
+    events = []
+    for _ in range(n_events):
+        at = float(stream.uniform(0.5, horizon))
+        kind = _KINDS[int(stream.choice(len(_KINDS), p=_KIND_WEIGHTS))]
+        if kind == "pressure_wave":
+            ev = FaultEvent(at=at, kind=kind,
+                            fraction=float(stream.uniform(0.3, 1.0)),
+                            duration=float(stream.uniform(2.0, horizon / 3)),
+                            factor=float(stream.uniform(0.3, 0.9)),
+                            cause="soak-pressure")
+        elif kind == "revoke_storm":
+            ev = FaultEvent(at=at, kind=kind,
+                            fraction=float(stream.uniform(0.25, 0.75)),
+                            cause="soak-storm")
+        elif kind == "degrade":
+            ev = FaultEvent(at=at, kind=kind,
+                            factor=float(stream.uniform(0.1, 0.5)),
+                            duration=float(stream.uniform(1.0, 10.0)))
+        elif kind == "partition":
+            ev = FaultEvent(at=at, kind=kind,
+                            duration=float(stream.uniform(0.5, 5.0)))
+        else:                                   # revoke / crash: one victim
+            ev = FaultEvent(at=at, kind=kind, cause=f"soak-{kind}")
+        events.append(ev)
+    return FaultSchedule(tuple(events))
+
+
+def soak_spec(seed: int, *, n_tasks: int = 24, file_size: float = 16 * MB,
+              compute_seconds: float = 5.0, n_events: int = 8,
+              horizon: float = 10.0) -> ScenarioSpec:
+    return ScenarioSpec.make("chaos-soak", seed=seed, n_tasks=n_tasks,
+                             file_size=float(file_size),
+                             compute_seconds=compute_seconds,
+                             n_events=n_events, horizon=horizon)
+
+
+def run_soak(spec: ScenarioSpec) -> dict:
+    """Execute one seeded soak run; the ``chaos-soak`` executor body."""
+    p = spec.param_dict()
+    seed = spec.seed if spec.seed is not None else int(p.get("seed", 0))
+    fault_stats.reset()
+    pressure_stats.reset()
+    # Tight stores: aggregate ~768 MB for a ~384 MB payload, so any
+    # pressure wave or eviction pushes individual stores over the edge.
+    config = DeploymentConfig(
+        n_own=2, n_victim=4, alpha=0.3,
+        victim_memory=96 * MB, own_store_capacity=192 * MB,
+        stripe_size=4 * MB, write_window=2, seed=seed,
+        io_deadline=30.0, io_retries=3)
+    dep = MemFSSDeployment(config)
+    victim_names = {n.name for n in dep.victims}
+    schedule = build_soak_schedule(
+        seed, horizon=float(p.get("horizon", 10.0)),
+        n_events=int(p.get("n_events", 8)), rng=dep.rng)
+    injector = FaultInjector(
+        dep.env, schedule,
+        # Crashes hit victim stores only: losing an own node would take a
+        # metadata server with it, which is a different failure domain.
+        servers=lambda: {name: s for name, s in dep.fs.servers.items()
+                         if name in victim_names},
+        manager=dep.manager, fabric=dep.cluster.fabric,
+        reservations=dep.cluster.reservations, nodes=dep.victims,
+        rng=dep.rng, stream="soak-faults")
+    daemon = RepairDaemon(dep.env, dep.fs, manager=dep.manager,
+                          interval=2.0)
+    injector.start()
+    daemon.start()
+    # Tasks compute long enough that the writes land mid-schedule: the
+    # fault horizon overlaps the write burst instead of an idle prologue.
+    workflow = dd_bag(n_tasks=int(p.get("n_tasks", 24)),
+                      file_size=float(p.get("file_size", 16 * MB)),
+                      compute_seconds=float(p.get("compute_seconds", 5.0)))
+    engine = WorkflowEngine(dep.env, dep.fs, gc_intermediates=False)
+    degraded = None
+    makespan = None
+    try:
+        result = engine.execute(workflow)
+        makespan = float(result.makespan)
+    except DEGRADABLE_ERRORS as exc:
+        degraded = classify_failure(exc, faulted=True)
+    finally:
+        daemon.stop()
+    return {
+        "seed": seed,
+        "completed": degraded is None,
+        "makespan_s": makespan,
+        "degraded": degraded.to_payload() if degraded is not None else None,
+        "injected": [[float(t), kind, list(names)]
+                     for t, kind, names in injector.log],
+        "pressure": pressure_stats.snapshot(),
+        "faults": fault_stats.snapshot(),
+    }
+
+
+def run_soak_suite(seeds: range | list[int], *, n_tasks: int = 24,
+                   file_size: float = 16 * MB, n_events: int = 8,
+                   horizon: float = 10.0) -> dict:
+    """Run one soak per seed and aggregate the counters.
+
+    Any exception outside the degradation taxonomy propagates — that is
+    the assertion.  Returns the JSON-safe report the CI lane uploads.
+    """
+    runs = [run_soak(soak_spec(s, n_tasks=n_tasks, file_size=file_size,
+                               n_events=n_events, horizon=horizon))
+            for s in seeds]
+    totals: dict[str, float] = {}
+    for run in runs:
+        for name, value in run["pressure"].items():
+            totals[name] = totals.get(name, 0) + value
+    reasons: dict[str, int] = {}
+    for run in runs:
+        if run["degraded"] is not None:
+            reason = run["degraded"]["reason"]
+            reasons[reason] = reasons.get(reason, 0) + 1
+    return {
+        "seeds": [run["seed"] for run in runs],
+        "completed": sum(run["completed"] for run in runs),
+        "degraded": len(runs) - sum(run["completed"] for run in runs),
+        "degraded_reasons": reasons,
+        "pressure_totals": totals,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.exec.soak",
+        description="Chaos soak: randomized faults + capacity pressure")
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of seeds to soak (default 5)")
+    parser.add_argument("--first-seed", type=int, default=0)
+    parser.add_argument("--tasks", type=int, default=24)
+    parser.add_argument("--events", type=int, default=8)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    report = run_soak_suite(
+        range(args.first_seed, args.first_seed + args.seeds),
+        n_tasks=args.tasks, n_events=args.events)
+    line = (f"soak: {report['completed']} completed, "
+            f"{report['degraded']} degraded "
+            f"({report['degraded_reasons'] or 'none'}) over "
+            f"{len(report['seeds'])} seeds; "
+            f"spilled={report['pressure_totals'].get('spilled_writes', 0)}")
+    print(line)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

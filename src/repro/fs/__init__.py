@@ -1,5 +1,7 @@
 """MemFSS: the scavenging in-memory distributed file system (paper §III)."""
 
+from .capacity import (CapacityLedger, PressureStats, pressure_stats,
+                       select_targets)
 from .striping import (DEFAULT_STRIPE_SIZE, StripeSpan, join_payload,
                        split_payload, stripe_count, stripe_digest_array,
                        stripe_key, stripe_spans)
@@ -20,6 +22,7 @@ __all__ = [
     "file_meta_key", "dir_key",
     "ClassSpec", "PlacementPolicy", "StripePlan", "PlannerStats",
     "planner_stats", "clear_placement_caches",
+    "CapacityLedger", "PressureStats", "pressure_stats", "select_targets",
     "group_layout", "parity_key", "xor_parity", "storage_overhead",
     "MemFSS", "FsError", "FileNotFound", "FileExists", "NotADir",
     "build_memfs",

@@ -26,7 +26,8 @@ def build_memfs(env: Environment, fabric: Fabric, nodes: list[Node],
                 password: str = "",
                 stripe_size: int = DEFAULT_STRIPE_SIZE,
                 replication: int = 1,
-                write_window: int = 4) -> MemFSS:
+                write_window: int = 4,
+                capacity_guard: bool = True) -> MemFSS:
     """A uniform MemFS: one class, all nodes compute *and* store."""
     # Interned: repeated deployments over the same node set (the ablation
     # sweeps re-build MemFS per data point) share one policy and its plans.
@@ -34,4 +35,5 @@ def build_memfs(env: Environment, fabric: Fabric, nodes: list[Node],
         {"all": ClassSpec(weight=0.0, nodes=tuple(n.name for n in nodes))}))
     return MemFSS(env, fabric, own_nodes=nodes, servers=servers,
                   policy=policy, password=password, stripe_size=stripe_size,
-                  replication=replication, write_window=write_window)
+                  replication=replication, write_window=write_window,
+                  capacity_guard=capacity_guard)

@@ -31,6 +31,7 @@ from ..sim.rng import RngRegistry
 from ..store import (RetryPolicy, StoreClient, StoreError, StoreErrorCode,
                      StoreServer)
 from ..units import GB
+from .capacity import CapacityLedger, pressure_stats, select_targets
 from .erasure import group_layout, parity_key, reconstruct_size, xor_parity
 from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
                        normalize_path, parent_dir)
@@ -75,6 +76,7 @@ class MemFSS:
                  io_deadline: float | None = None,
                  io_retry: RetryPolicy | None = None,
                  io_hedge: float | None = None,
+                 capacity_guard: bool = True,
                  rng: RngRegistry | None = None):
         if not own_nodes:
             raise ValueError("need at least one own node")
@@ -126,6 +128,12 @@ class MemFSS:
         self._fuse_pipes = {
             n.name: FluidResource(env, fuse_bandwidth, name=f"fuse@{n.name}")
             for n in own_nodes}
+        # Capacity-aware writes: stripe puts consult the ledger and spill
+        # down the HRW chain instead of bouncing with FULL (§III-E applied
+        # to capacity).  The ledger wraps self.servers itself, so victims
+        # joining/leaving are visible without re-wiring.
+        self.capacity_guard = bool(capacity_guard)
+        self.ledger = CapacityLedger(self.servers)
         self._inodes = itertools.count(1)
         # Lifetime I/O counters.
         self.bytes_written = 0.0
@@ -274,15 +282,96 @@ class MemFSS:
 
     def _write_stripe(self, client: StoreClient, plan, idx: int,
                       nbytes: float, piece: bytes | None, batch: int = 1):
-        """Generator: write one planned stripe to its replica set."""
+        """Generator: write one planned stripe to its replica set.
+
+        With the capacity guard on (the default), targets that cannot
+        admit the stripe are skipped in favour of the next nodes down the
+        HRW chain (§III-E applied to capacity) instead of bouncing the
+        write with ``FULL``.  The admission check is pure Python over the
+        ledger, so when every planned target admits — the unpressured
+        case — the put sequence is identical to the unguarded path.  A
+        ``FULL`` that still sneaks through (a capacity race with another
+        in-flight writer, or tenant pressure landing mid-put) falls
+        through *reactively* to the next admitting node.  Only when no
+        store in the whole chain can take the stripe does the write raise
+        — a structured ``FULL`` :class:`StoreError` the sweep layer turns
+        into a degraded row.
+        """
         key = plan.keys[idx]
-        targets = plan.chain(idx, k=self.replication)
-        for target in targets:
-            yield from self._through_fuse(
-                client.node.name, nbytes,
-                client.put(self.servers[target], key,
-                           nbytes=None if piece is not None else nbytes,
-                           payload=piece, batch=batch))
+        want = self.replication
+        targets = plan.chain(idx, k=want)
+        if not self.capacity_guard:
+            for target in targets:
+                yield from self._put_stripe(client, target, key, nbytes,
+                                            piece, batch)
+            return
+        pressure_stats.writes_checked += 1
+        chain: list[str] | None = None
+        if not all(self.ledger.admits(t, nbytes) for t in targets):
+            chain = plan.chain(idx)
+            picked, distance, _short = select_targets(
+                chain, nbytes, want, self.ledger.usable)
+            if not picked:
+                pressure_stats.exhausted_writes += 1
+                pressure_stats.replica_shortfall += want
+                raise StoreError(
+                    StoreErrorCode.FULL,
+                    f"stripe {key!r} ({nbytes:.3g} B): no store in the "
+                    f"HRW chain can admit it",
+                    details={"requested_bytes": float(nbytes),
+                             "chain": list(chain)})
+            pressure_stats.spilled_writes += 1
+            pressure_stats.spill_distance += distance
+            targets = picked
+        written = 0
+        pos = 0                   # reactive-spill resume point in chain
+        tried: set[str] = set()
+        queue = list(targets)
+        while queue:
+            target = queue.pop(0)
+            tried.add(target)
+            reserved = self.ledger.reserve(target, nbytes)
+            try:
+                yield from self._put_stripe(client, target, key, nbytes,
+                                            piece, batch)
+            except StoreError as exc:
+                if exc.code is not StoreErrorCode.FULL:
+                    raise
+                pressure_stats.reactive_spills += 1
+                if chain is None:
+                    chain = plan.chain(idx)
+                while pos < len(chain):
+                    cand = chain[pos]
+                    pos += 1
+                    if cand in tried or cand in queue:
+                        continue
+                    if self.ledger.admits(cand, nbytes):
+                        queue.append(cand)
+                        break
+                continue
+            finally:
+                self.ledger.release(target, reserved)
+            written += 1
+        if written == 0:
+            pressure_stats.exhausted_writes += 1
+            pressure_stats.replica_shortfall += want
+            raise StoreError(
+                StoreErrorCode.FULL,
+                f"stripe {key!r} ({nbytes:.3g} B): every candidate store "
+                f"rejected the write",
+                details={"requested_bytes": float(nbytes),
+                         "tried": sorted(tried)})
+        if written < want:
+            pressure_stats.replica_shortfall += want - written
+
+    def _put_stripe(self, client: StoreClient, target: str, key,
+                    nbytes: float, piece: bytes | None, batch: int):
+        """Generator: one stripe put through the FUSE pipe."""
+        yield from self._through_fuse(
+            client.node.name, nbytes,
+            client.put(self.servers[target], key,
+                       nbytes=None if piece is not None else nbytes,
+                       payload=piece, batch=batch))
 
     def _run_window(self, gens: list):
         """Run generators with at most :attr:`write_window` in flight.
@@ -424,7 +513,12 @@ class MemFSS:
         exhausted chain falls back to parity reconstruction.
         """
         key = plan.keys[idx]
-        chain = plan.chain(idx, k=max(self.replication, 3))
+        # Under the capacity guard a write may have spilled arbitrarily
+        # deep down the chain, so reads walk it to the end; the walk
+        # stops at the first hit, so the unpressured path still issues
+        # exactly one request to the primary.
+        chain = (plan.chain(idx) if self.capacity_guard
+                 else plan.chain(idx, k=max(self.replication, 3)))
         try:
             return (yield from client.get_any(
                 [self.servers.get(t) for t in chain], key, batch=batch))
@@ -474,9 +568,11 @@ class MemFSS:
     def _fetch_any(self, client: StoreClient, plan, idx: int):
         """Generator: get the plan's key *idx* from anywhere in its chain."""
         key = plan.keys[idx]
+        chain = (plan.chain(idx) if self.capacity_guard
+                 else plan.chain(idx, k=3))
         try:
             return (yield from client.get_any(
-                [self.servers.get(t) for t in plan.chain(idx, k=3)], key))
+                [self.servers.get(t) for t in chain], key))
         except StoreError as exc:
             if not exc.code.fallthrough:
                 raise
@@ -489,13 +585,25 @@ class MemFSS:
         client = self.client(node)
         # The plan already covers stripes *and* parity keys.
         plan = self._plan_for(meta)
+        want = self.replication
         for idx, key in enumerate(plan.keys):
-            for target in plan.chain(idx, k=self.replication):
+            # Delete from the planned replica set; if copies are missing
+            # there (a capacity spill pushed them deeper), keep walking
+            # the chain until all expected copies are gone.  Unpressured
+            # files find every copy in the first *want* ranks, so the
+            # request sequence is unchanged.
+            chain = (plan.chain(idx) if self.capacity_guard
+                     else plan.chain(idx, k=want))
+            deleted = 0
+            for target in chain:
+                if deleted >= want:
+                    break
                 server = self.servers.get(target)
                 if server is None:
                     continue
                 try:
                     yield from client.delete(server, key)
+                    deleted += 1
                 except StoreError as exc:
                     # A replica that is missing the key — or is down and
                     # losing it anyway — does not fail the unlink.

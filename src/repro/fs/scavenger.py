@@ -37,7 +37,8 @@ from ..cluster.reservation import ReservationSystem, ScavengeLease
 from ..faults.stats import fault_stats
 from ..sim import Environment, Interrupt
 from ..store import (NO_RETRY, AuthPolicy, StoreCostModel, StoreError,
-                     StoreServer)
+                     StoreErrorCode, StoreServer)
+from .capacity import pressure_stats, select_targets
 from .erasure import group_layout, parity_key, xor_parity
 from .memfss import FileNotFound, MemFSS
 from .metadata import FileMeta, file_meta_key
@@ -215,10 +216,31 @@ class ScavengingManager:
                         continue
                     raise
                 target = new_plan.primary(idx)
-                yield from client.put(
-                    self.fs.servers[target], key,
-                    nbytes=None if piece is not None else nbytes,
-                    payload=piece)
+                if self.fs.capacity_guard and \
+                        not self.fs.ledger.admits(target, nbytes):
+                    # The post-eviction primary is full: spill down the
+                    # new chain (§III-E).  If no live store can take the
+                    # copy, leave it behind — the repair daemon retries
+                    # once pressure eases — rather than failing the drain.
+                    picked, distance, _short = select_targets(
+                        new_plan.chain(idx), nbytes, 1,
+                        self.fs.ledger.usable)
+                    if not picked:
+                        pressure_stats.evac_drops += 1
+                        continue
+                    pressure_stats.evac_spills += 1
+                    pressure_stats.spill_distance += distance
+                    target = picked[0]
+                try:
+                    yield from client.put(
+                        self.fs.servers[target], key,
+                        nbytes=None if piece is not None else nbytes,
+                        payload=piece)
+                except StoreError as exc:
+                    if exc.code is not StoreErrorCode.FULL:
+                        raise
+                    pressure_stats.evac_drops += 1
+                    continue
                 self.moved_keys.append((key, name, target))
                 moved += nbytes
             # 3. Rewrite the membership snapshot: drop this node and any
@@ -426,10 +448,25 @@ class RepairDaemon:
                 self.deficits += 1
                 continue
             for t in missing:
-                yield from client.put(
-                    self.fs.servers[t], key,
-                    nbytes=None if piece is not None else nbytes,
-                    payload=piece)
+                if self.fs.capacity_guard and \
+                        not self.fs.ledger.admits(t, nbytes):
+                    # The rank that should hold the copy is full; skip it
+                    # this sweep and count the deficit so the fault stays
+                    # open — a later sweep retries once pressure eases.
+                    pressure_stats.repair_skips += 1
+                    self.deficits += 1
+                    continue
+                try:
+                    yield from client.put(
+                        self.fs.servers[t], key,
+                        nbytes=None if piece is not None else nbytes,
+                        payload=piece)
+                except StoreError as exc:
+                    if exc.code is not StoreErrorCode.FULL:
+                        raise
+                    pressure_stats.repair_skips += 1
+                    self.deficits += 1
+                    continue
                 fixed += 1
                 fault_stats.stripes_repaired += 1
                 fault_stats.repaired_bytes += float(nbytes)

@@ -4,6 +4,9 @@ from .exec import attach_exec_probes, exec_counters
 from .faults import (attach_fault_probes, fault_counters,
                      render_fault_report)
 from .placement import attach_placement_probes, placement_counters
+from .pressure import (attach_fill_probes, attach_pressure_probes,
+                       class_fill_ratios, pressure_counters,
+                       render_pressure_report)
 from .report import fmt_pct, render_bars, render_table
 from .solver import attach_solver_probes, solver_counters
 from .utilization import NodeUtilization, class_utilization, node_utilization
@@ -15,4 +18,6 @@ __all__ = [
     "solver_counters", "attach_solver_probes",
     "fault_counters", "attach_fault_probes", "render_fault_report",
     "exec_counters", "attach_exec_probes",
+    "pressure_counters", "attach_pressure_probes", "attach_fill_probes",
+    "class_fill_ratios", "render_pressure_report",
 ]

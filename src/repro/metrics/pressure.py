@@ -1,0 +1,100 @@
+"""Capacity-pressure observability.
+
+The capacity-aware write path (:mod:`repro.fs.capacity`) keeps
+process-wide counters — writes checked against the ledger, proactive and
+reactive spills down the HRW chain, cumulative spill distance, replica
+shortfalls, evacuation spills/drops, capacity-blocked repairs, and
+admission-control verdicts.  This module exposes them as snapshots for
+reports and as :class:`~repro.sim.monitor.Monitor` probes, plus
+per-class store fill-ratio gauges so pressure can be charted next to
+CPU/NIC utilization.
+"""
+
+from __future__ import annotations
+
+from ..fs.capacity import pressure_stats
+from ..sim.monitor import Monitor, TimeSeries
+from .report import render_table
+
+__all__ = ["pressure_counters", "attach_pressure_probes",
+           "attach_fill_probes", "class_fill_ratios",
+           "render_pressure_report"]
+
+#: Counters worth charting over time (all cumulative).
+_PROBE_FIELDS = ("writes_checked", "spilled_writes", "spill_distance",
+                 "reactive_spills", "replica_shortfall", "exhausted_writes",
+                 "evac_spills", "evac_drops", "repair_skips",
+                 "admission_checks", "admission_rejections",
+                 "degraded_rows")
+
+
+def pressure_counters() -> dict[str, float]:
+    """Current capacity-pressure counters (cumulative since reset)."""
+    return pressure_stats.snapshot()
+
+
+def attach_pressure_probes(monitor: Monitor, prefix: str = "pressure",
+                           ) -> dict[str, TimeSeries]:
+    """Sample every pressure counter as a ``<prefix>.<field>`` series.
+
+    Counters are cumulative; diff consecutive samples for rates.  The
+    derived ``<prefix>.mean_spill_distance`` gauge tracks how far below
+    its ideal rank the average spilled stripe landed.
+    """
+    probes = {
+        f"{prefix}.{field}": (lambda f=field:
+                              float(getattr(pressure_stats, f)))
+        for field in _PROBE_FIELDS}
+
+    def _mean_distance() -> float:
+        spills = pressure_stats.spilled_writes + pressure_stats.evac_spills
+        if spills == 0:
+            return 0.0
+        return pressure_stats.spill_distance / spills
+
+    probes[f"{prefix}.mean_spill_distance"] = _mean_distance
+    return monitor.add_probes(probes)
+
+
+def class_fill_ratios(fs) -> dict[str, float]:
+    """Mean store fill (used/capacity) per placement class of *fs*.
+
+    Stores missing from the live server map (crashed, evicted) are
+    skipped; an empty class reads 0.
+    """
+    ratios: dict[str, float] = {}
+    for cls, spec in fs.policy.classes.items():
+        used = cap = 0.0
+        for name in spec.nodes:
+            server = fs.servers.get(name)
+            if server is None:
+                continue
+            used += server.kv.used_bytes
+            cap += server.kv.capacity
+        ratios[cls] = used / cap if cap > 0 else 0.0
+    return ratios
+
+
+def attach_fill_probes(monitor: Monitor, fs, prefix: str = "fill",
+                       ) -> dict[str, TimeSeries]:
+    """Per-class fill-ratio gauges: ``<prefix>.<class>`` in [0, 1].
+
+    Classes are read from the *current* policy at each sample, so probes
+    follow membership changes (evictions, crashes) automatically — but
+    the set of charted classes is fixed at attach time.
+    """
+    probes = {
+        f"{prefix}.{cls}": (lambda c=cls:
+                            float(class_fill_ratios(fs).get(c, 0.0)))
+        for cls in fs.policy.classes}
+    return monitor.add_probes(probes)
+
+
+def render_pressure_report(title: str = "capacity-pressure counters",
+                           ) -> str:
+    """The non-zero pressure counters as a fixed-width text table."""
+    rows = [(name, f"{value:.6g}")
+            for name, value in pressure_counters().items() if value]
+    if not rows:
+        rows = [("(no pressure recorded)", "")]
+    return render_table(("counter", "value"), rows, title=title)

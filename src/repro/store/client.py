@@ -111,11 +111,23 @@ class StoreClient:
             if code is StoreErrorCode.UNAVAILABLE:
                 fault_stats.unavailable_errors += 1
             if not policy.should_retry(code, attempt):
-                raise StoreError(code, resp.message)
+                raise StoreError(code, resp.message, details=resp.details)
             fault_stats.retries += 1
             delay = policy.backoff(attempt, self.rng)
             if delay > 0:
                 yield self.env.timeout(delay)
+
+    # -- capacity -----------------------------------------------------------------
+    def free_space(self, server: StoreServer) -> float:
+        """Bytes *server* could still admit — a zero-cost local peek.
+
+        Not a generator: it charges no simulated time, modeling the
+        client's view of the capacity gossip every store piggybacks on
+        its responses.  The write path's spill decisions
+        (:mod:`repro.fs.capacity`) consult this before committing a
+        stripe to a store.
+        """
+        return server.free_space()
 
     # -- operations ---------------------------------------------------------------
     def put(self, server: StoreServer, key: Hashable,

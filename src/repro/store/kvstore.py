@@ -16,7 +16,44 @@ __all__ = ["KVStore", "StoreFull", "KeyMissing"]
 
 
 class StoreFull(RuntimeError):
-    """A put would exceed the store's memory capacity."""
+    """A put would exceed the store's memory capacity.
+
+    Carries structured fields — the store's id, the requested payload
+    bytes and the free bytes at rejection time — so spill and degradation
+    logic never parses the message.  When only the fields are given, the
+    message is synthesized in the legacy
+    ``"put of X B would exceed capacity (Y B free)"`` shape, which older
+    callers still match on.
+    """
+
+    def __init__(self, message: str = "", *, store: str | None = None,
+                 requested: float | None = None, free: float | None = None):
+        if not message and requested is not None:
+            message = (f"put of {requested:.3g} B would exceed capacity "
+                       f"({(free if free is not None else 0.0):.3g} B free)")
+        super().__init__(message)
+        self.message = message
+        self.store = store
+        self.requested = requested
+        self.free = free
+
+    def __reduce__(self):
+        # Keyword-only fields would be dropped by default exception
+        # pickling (which replays positional args only).
+        return (type(self), (self.message,),
+                {"store": self.store, "requested": self.requested,
+                 "free": self.free})
+
+    def details(self) -> dict:
+        """The structured fields as a JSON-safe dict (empty ones omitted)."""
+        out: dict = {}
+        if self.store is not None:
+            out["store"] = self.store
+        if self.requested is not None:
+            out["requested_bytes"] = float(self.requested)
+        if self.free is not None:
+            out["free_bytes"] = float(self.free)
+        return out
 
 
 class KeyMissing(KeyError):
@@ -34,11 +71,13 @@ class _Entry:
 class KVStore:
     """Capacity-accounted dictionary of keys to (size, optional payload)."""
 
-    def __init__(self, capacity: float, key_overhead: float = 128.0):
+    def __init__(self, capacity: float, key_overhead: float = 128.0,
+                 name: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if key_overhead < 0:
             raise ValueError("key_overhead must be non-negative")
+        self.name = name
         self.capacity = float(capacity)
         self.key_overhead = float(key_overhead)
         self._data: dict[Hashable, _Entry] = {}
@@ -82,9 +121,8 @@ class KVStore:
         old = self._data.get(key)
         released = self._cost(old.nbytes) if old is not None else 0.0
         if self._used - released + self._cost(size) > self.capacity:
-            raise StoreFull(
-                f"put of {size:.3g} B would exceed capacity "
-                f"({self.free_bytes + released:.3g} B free)")
+            raise StoreFull(store=self.name or None, requested=size,
+                            free=self.free_bytes + released)
         self._used += self._cost(size) - released
         self._data[key] = _Entry(size, payload)
         self.puts += 1
@@ -141,7 +179,9 @@ class KVStore:
         if entry is None:
             cost = self._cost(0.0)
             if self._used + cost > self.capacity:
-                raise StoreFull("sadd: no room for new set")
+                raise StoreFull("sadd: no room for new set",
+                                store=self.name or None, requested=cost,
+                                free=self.free_bytes)
             entry = _Entry(0.0, set())
             self._data[key] = entry
             self._used += cost
@@ -151,7 +191,9 @@ class KVStore:
             return False
         size = float(len(member))
         if self._used + size > self.capacity:
-            raise StoreFull("sadd: over capacity")
+            raise StoreFull("sadd: over capacity",
+                            store=self.name or None, requested=size,
+                            free=self.free_bytes)
         entry.payload.add(member)
         entry.nbytes += size
         self._used += size

@@ -89,21 +89,29 @@ _FALLTHROUGH = frozenset({StoreErrorCode.MISSING, StoreErrorCode.UNAVAILABLE,
 
 
 class StoreError(RuntimeError):
-    """A store request failed; :attr:`code` carries the typed cause."""
+    """A store request failed; :attr:`code` carries the typed cause.
 
-    def __init__(self, code: StoreErrorCode | str, message: str = ""):
+    :attr:`details` is an optional JSON-safe dict of structured context
+    (for ``FULL``: the store id, requested bytes and free bytes, straight
+    from :class:`~repro.store.kvstore.StoreFull`), so pressure/spill
+    logic never parses :attr:`message`.
+    """
+
+    def __init__(self, code: StoreErrorCode | str, message: str = "",
+                 details: dict | None = None):
         if not isinstance(code, StoreErrorCode):
             code = StoreErrorCode(code)
         super().__init__(f"{code.value}: {message}" if message
                          else code.value)
         self.code = code
         self.message = message
+        self.details = dict(details) if details else {}
 
     def __reduce__(self):
         # args hold the formatted "code: message" string; default
         # exception pickling would feed that back into __init__ as
         # *code* and fail the StoreErrorCode lookup on unpickle.
-        return (type(self), (self.code, self.message))
+        return (type(self), (self.code, self.message, self.details))
 
     @property
     def retryable(self) -> bool:
@@ -119,13 +127,15 @@ class Response:
     ``split(":", 1)`` — is kept as a read/write deprecation shim.
     """
 
-    __slots__ = ("ok", "value", "code", "message")
+    __slots__ = ("ok", "value", "code", "message", "details")
 
     def __init__(self, ok: bool, value: Any = None,
                  code: StoreErrorCode | str | None = None,
-                 message: str = "", error: str = ""):
+                 message: str = "", error: str = "",
+                 details: dict | None = None):
         self.ok = ok
         self.value = value
+        self.details = dict(details) if details else {}
         if code is not None and not isinstance(code, StoreErrorCode):
             code = StoreErrorCode(code)
         if code is None and error:
@@ -151,7 +161,7 @@ class Response:
         """Raise the matching :class:`StoreError` if the request failed."""
         if not self.ok:
             raise StoreError(self.code or StoreErrorCode.BAD_REQUEST,
-                             self.message)
+                             self.message, details=self.details)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.ok:

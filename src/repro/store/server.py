@@ -54,7 +54,8 @@ class StoreServer:
         self.costs = costs = costs if costs is not None else StoreCostModel()
         if container is not None:
             capacity = min(capacity, container.caps.memory)
-        self.kv = KVStore(capacity, key_overhead=costs.key_overhead)
+        self.kv = KVStore(capacity, key_overhead=costs.key_overhead,
+                          name=self.name)
         # The Redis event loop is single-threaded: all of this server's
         # request CPU work serializes through one core's worth of capacity
         # (less, if the container caps CPU tighter).  This is what bounds a
@@ -92,6 +93,24 @@ class StoreServer:
     def request_rate_now(self) -> float:
         return self.request_rate.rate(self.env.now)
 
+    def free_space(self) -> float:
+        """Bytes a put could still admit, as of now — a zero-cost local
+        peek (no simulated request), modeling the capacity gossip the
+        write path's spill decisions consult (§III-E).
+
+        Bounded by the KV capacity *and* by what the hosting container /
+        node can actually back, so tenant memory pressure shows up here
+        before a put would bounce with ``FULL``.
+        """
+        if self.crashed:
+            return 0.0
+        free = self.kv.free_bytes
+        if self.container is not None:
+            free = min(free, self.container.memory_available)
+        else:
+            free = min(free, self.node.memory_free)
+        return max(free, 0.0)
+
     # -- memory accounting ----------------------------------------------------------
     def _sync_memory(self) -> None:
         """Mirror the KV footprint into node/container accounting."""
@@ -111,6 +130,17 @@ class StoreServer:
     @property
     def memory_used(self) -> float:
         return self._accounted
+
+    def _full_details(self, exc: Exception, requested: float) -> dict:
+        """Structured context of a FULL rejection for the response."""
+        if isinstance(exc, StoreFull):
+            details = exc.details()
+            details.setdefault("store", self.name)
+            return details
+        # Container cap / node memory exhausted: the KV had room, the
+        # backing memory did not.
+        return {"store": self.name, "requested_bytes": float(requested),
+                "free_bytes": float(self.free_space())}
 
     # -- serving ------------------------------------------------------------------
     def serve(self, request: Request, client_node: Node):
@@ -146,7 +176,8 @@ class StoreServer:
                 self._sync_memory()
             except (StoreFull, CapExceeded, OutOfMemory) as exc:
                 return Response(ok=False, code=StoreErrorCode.FULL,
-                                message=str(exc))
+                                message=str(exc),
+                                details=self._full_details(exc, size))
             except ValueError as exc:
                 return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
                                 message=str(exc))
@@ -193,7 +224,8 @@ class StoreServer:
                 self._sync_memory()
             except (StoreFull, CapExceeded, OutOfMemory) as exc:
                 return Response(ok=False, code=StoreErrorCode.FULL,
-                                message=str(exc))
+                                message=str(exc),
+                                details=self._full_details(exc, 0.0))
             except TypeError as exc:
                 return Response(ok=False, code=StoreErrorCode.BAD_REQUEST,
                                 message=str(exc))

@@ -1,0 +1,153 @@
+"""Placement-aware admission control and typed degraded results."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import build_das5
+from repro.core import (DEGRADABLE_ERRORS, DegradedReason, DegradedResult,
+                        classify_failure, predict_admission, predicted_files,
+                        run_standalone)
+from repro.fs import build_memfs, pressure_stats
+from repro.fs.memfss import FileNotFound
+from repro.store import (StoreError, StoreErrorCode, StoreFull, StoreServer)
+from repro.units import GB, MB
+from repro.workflows import FileSpec, Task, Workflow, dd_bag
+
+
+@pytest.fixture(autouse=True)
+def _reset_pressure():
+    pressure_stats.reset()
+    yield
+    pressure_stats.reset()
+
+
+def standalone_fs(n_nodes=2, capacity=4 * GB, stripe_size=8 * MB):
+    cluster = build_das5(n_nodes=n_nodes)
+    nodes = list(cluster.nodes)
+    servers = {n.name: StoreServer(cluster.env, n, cluster.fabric,
+                                   capacity=capacity, name=f"own@{n.name}")
+               for n in nodes}
+    return build_memfs(cluster.env, cluster.fabric, nodes, servers,
+                       stripe_size=stripe_size)
+
+
+class TestPredictedFiles:
+    def test_staged_sorted_then_outputs_in_task_order(self):
+        wf = Workflow("t", [
+            Task(id="b", stage="s",
+                 inputs=(FileSpec("/in/zz", 10.0), FileSpec("/in/aa", 20.0)),
+                 outputs=(FileSpec("/out/b", 5.0),)),
+            Task(id="a", stage="s", outputs=(FileSpec("/out/a", 7.0),)),
+        ])
+        paths = [p for p, _ in predicted_files(wf)]
+        assert paths == ["/in/aa", "/in/zz", "/out/b", "/out/a"]
+
+    def test_intermediates_not_double_counted(self):
+        wf = Workflow("t", [
+            Task(id="p", stage="s", outputs=(FileSpec("/mid", 10.0),)),
+            Task(id="c", stage="s", inputs=(FileSpec("/mid", 10.0),)),
+        ])
+        assert predicted_files(wf) == [("/mid", 10.0)]
+
+
+class TestPredictAdmission:
+    def test_fitting_workload_admitted(self):
+        fs = standalone_fs()
+        report = predict_admission(dd_bag(n_tasks=16, file_size=64 * MB),
+                                   fs)
+        assert report.fits
+        assert report.unplaced_stripes == 0
+        assert report.n_files == 16
+        assert 0.0 < report.worst_fill <= 1.0
+        assert pressure_stats.admission_checks == 1
+        assert pressure_stats.admission_rejections == 0
+
+    def test_oversized_workload_rejected_with_detail(self):
+        fs = standalone_fs(capacity=512 * MB)
+        report = predict_admission(dd_bag(n_tasks=64, file_size=64 * MB),
+                                   fs)
+        assert not report.fits
+        assert report.unplaced_stripes > 0
+        assert "unplaceable" in report.detail
+        assert pressure_stats.admission_rejections == 1
+
+    def test_prediction_is_pure(self):
+        fs = standalone_fs()
+        wf = dd_bag(n_tasks=8, file_size=32 * MB)
+        first = predict_admission(wf, fs)
+        again = predict_admission(wf, fs)
+        assert first == again
+        assert fs.env.now == 0.0
+
+    def test_headroom_validated(self):
+        fs = standalone_fs()
+        with pytest.raises(ValueError):
+            predict_admission(dd_bag(n_tasks=1, file_size=MB), fs,
+                              headroom=1.0)
+
+    def test_per_store_packing_not_aggregate(self):
+        # 3 files of 64 MB on two 100 MB stores: the aggregate (192 < 200)
+        # looks fine, but no packing fits 3x64 into 2x100 under headroom —
+        # the honest predictor must reject what the old check admitted.
+        fs = standalone_fs(capacity=100 * MB, stripe_size=64 * MB)
+        report = predict_admission(dd_bag(n_tasks=3, file_size=64 * MB),
+                                   fs, headroom=0.0)
+        assert not report.fits
+
+
+class TestDegradedResults:
+    def test_render(self):
+        d = DegradedResult(DegradedReason.CAPACITY_EXHAUSTED, "boom")
+        assert d.render() == "unable to run (capacity-exhausted)"
+
+    def test_payload_round_trip(self):
+        d = DegradedResult(DegradedReason.STORES_LOST, "gone")
+        assert DegradedResult.from_payload(d.to_payload()) == d
+
+    def test_pickle_round_trip(self):
+        d = DegradedResult(DegradedReason.FAULT_SCHEDULE, "storm")
+        assert pickle.loads(pickle.dumps(d)) == d
+
+    def test_string_reason_coerced(self):
+        d = DegradedResult("workflow-error")
+        assert d.reason is DegradedReason.WORKFLOW_ERROR
+
+    def test_classify_failure_taxonomy(self):
+        full = StoreError(StoreErrorCode.FULL, "full")
+        assert classify_failure(full).reason is \
+            DegradedReason.CAPACITY_EXHAUSTED
+        gone = StoreError(StoreErrorCode.UNAVAILABLE, "down")
+        assert classify_failure(gone).reason is DegradedReason.STORES_LOST
+        assert classify_failure(gone, faulted=True).reason is \
+            DegradedReason.FAULT_SCHEDULE
+        assert classify_failure(StoreFull("x")).reason is \
+            DegradedReason.CAPACITY_EXHAUSTED
+        assert classify_failure(FileNotFound("/f")).reason is \
+            DegradedReason.STORES_LOST
+        other = StoreError(StoreErrorCode.BAD_REQUEST, "bad")
+        assert classify_failure(other).reason is \
+            DegradedReason.WORKFLOW_ERROR
+        assert "full" in classify_failure(full).detail
+
+    def test_degradable_errors_exclude_bugs(self):
+        assert not issubclass(TypeError, DEGRADABLE_ERRORS)
+        assert not issubclass(ValueError, DEGRADABLE_ERRORS)
+
+
+class TestRunStandaloneDegraded:
+    def test_rejected_row_carries_reason(self):
+        point = run_standalone(dd_bag(n_tasks=16, file_size=64 * MB),
+                               n_nodes=1, store_capacity=512 * MB)
+        assert not point.fits
+        assert point.degraded is not None
+        assert point.degraded.reason is DegradedReason.DATA_DOES_NOT_FIT
+        assert point.degraded.render() == \
+            "unable to run (data-does-not-fit)"
+        assert pressure_stats.degraded_rows == 1
+
+    def test_admitted_row_has_no_degradation(self):
+        point = run_standalone(dd_bag(n_tasks=8, file_size=32 * MB,
+                                      compute_seconds=0.5),
+                               n_nodes=2, store_capacity=4 * GB)
+        assert point.fits and point.degraded is None

@@ -1,0 +1,57 @@
+"""End-to-end Table II regression at seed scale (``--scale 8``).
+
+Pins the ROADMAP ``scavenging-4`` fix: before the capacity-aware write
+path, that row crashed with a raw StoreFull once HRW imbalance pushed a
+single victim store over the edge — even though the aggregate headroom
+check had admitted it.  Every row must now either produce numbers or
+render a typed "unable to run (<reason>)" cell; the command never
+raises.
+"""
+
+import re
+
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(scope="module")
+def table2_output():
+    import io
+    from contextlib import redirect_stdout
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        rc = cli.main(["table2", "--no-cache"])
+    return rc, buf.getvalue()
+
+
+def test_exit_clean(table2_output):
+    rc, _out = table2_output
+    assert rc == 0
+
+
+def test_all_rows_present(table2_output):
+    _rc, out = table2_output
+    for label in ("standalone-20", "standalone-19", "scavenging-4",
+                  "scavenging-8", "scavenging-16"):
+        assert label in out, label
+
+
+def test_scavenging_4_produces_numbers(table2_output):
+    _rc, out = table2_output
+    row = next(line for line in out.splitlines()
+               if line.startswith("scavenging-4"))
+    assert "unable to run" not in row
+    assert re.search(r"\d+ s", row)
+
+
+def test_standalone_19_renders_typed_reason(table2_output):
+    _rc, out = table2_output
+    row = next(line for line in out.splitlines()
+               if line.startswith("standalone-19"))
+    assert "unable to run (data-does-not-fit)" in row
+
+
+def test_normalized_footer_covers_runnable_rows(table2_output):
+    _rc, out = table2_output
+    assert "scavenging-4: runtime x" in out
