@@ -14,7 +14,11 @@ figure is a sweep of independent simulations, so ``-j/--jobs N`` fans
 them out over N worker processes (byte-identical to the serial run) and
 results are cached content-addressed under ``.repro-cache/`` (override
 with ``REPRO_CACHE_DIR``; ``--no-cache`` disables) so a warm re-run is
-near-instant.  The benchmark suite under ``benchmarks/`` runs the same
+near-instant.  ``--solver {auto,incremental,reference}`` picks the flow
+fabric's fill strategy (byte-identical outputs in every mode) and
+``--profile`` wraps the command in cProfile, leaving
+``results/profile-<cmd>.pstats``/``.txt`` for perf work.  The
+benchmark suite under ``benchmarks/`` runs the same
 experiments with shape assertions; the CLI is the quick interactive way
 to poke at one scenario.
 """
@@ -22,7 +26,11 @@ to poke at one scenario.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
+from pathlib import Path
 
 from .core import (DeploymentConfig, baseline_sweep, normalized)
 from .core.slowdown import SlowdownResult
@@ -48,6 +56,31 @@ def _cache_from(args) -> ResultCache | None:
     return ResultCache() if getattr(args, "cache", False) else None
 
 
+def _solver_from(args) -> str | None:
+    return getattr(args, "solver", None)
+
+
+def _profiled(handler, args) -> int:
+    """Run *handler* under cProfile; write pstats + a top-20 table.
+
+    Artifacts land in ``results/`` next to the benchmark result JSONs:
+    ``profile-<command>.pstats`` (load with :mod:`pstats`) and
+    ``profile-<command>.txt`` (top 20 by cumulative time).
+    """
+    prof = cProfile.Profile()
+    rc = prof.runcall(handler, args)
+    out = Path("results")
+    out.mkdir(exist_ok=True)
+    base = out / f"profile-{args.command}"
+    prof.dump_stats(str(base.with_suffix(".pstats")))
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(20)
+    base.with_suffix(".txt").write_text(buf.getvalue())
+    print(f"profile written: {base.with_suffix('.pstats')} and "
+          f"{base.with_suffix('.txt')} (top 20 cumulative)")
+    return rc
+
+
 def cmd_table1(_args) -> int:
     rows = [[r.study,
              "N/A" if r.cpu == (None, None) else f"<= {r.cpu[1] * 100:.0f}%",
@@ -64,6 +97,8 @@ def cmd_table1(_args) -> int:
 
 def cmd_fig2(args) -> int:
     metrics = baseline_sweep(n_tasks=args.tasks, file_size=128 * MB,
+                             config=DeploymentConfig(
+                                 solver=_solver_from(args)),
                              jobs=args.jobs, cache=_cache_from(args))
     rows = [[f"{m.alpha * 100:.0f}%", f"{m.runtime_s:.2f} s",
              f"{m.own_cpu * 100:.1f}%", f"{m.victim_cpu * 100:.2f}%",
@@ -76,7 +111,7 @@ def cmd_fig2(args) -> int:
 
 
 def _slowdown(args, suite: str, suite_scale: float, title: str) -> int:
-    config = DeploymentConfig(alpha=args.alpha)
+    config = DeploymentConfig(alpha=args.alpha, solver=_solver_from(args))
     builder, kwargs = WORKLOADS[args.workload]
     sweep = slowdown_sweep(config, suite, suite_scale,
                            workloads=(builder,), workload_kwargs=kwargs,
@@ -155,6 +190,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="reuse cached scenario results from "
                              ".repro-cache/ (default on; --no-cache "
                              "forces re-simulation)")
+    common.add_argument("--solver",
+                        choices=("auto", "incremental", "reference"),
+                        default=None,
+                        help="flow-solver mode for the fabric (default: "
+                             "the FlowNetwork default, incremental); "
+                             "every mode is byte-identical")
+    common.add_argument("--profile", action="store_true",
+                        help="run under cProfile and write "
+                             "results/profile-<cmd>.pstats plus a top-20 "
+                             "cumulative table")
 
     sub.add_parser("table1", help="print the Table I survey")
     p2 = sub.add_parser("fig2", help="dd-bag baseline sweep",
@@ -175,7 +220,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"table1": cmd_table1, "fig2": cmd_fig2, "fig3": cmd_fig3,
                 "fig4": cmd_fig4, "fig5": cmd_fig5, "table2": cmd_table2}
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", False):
+        return _profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -39,14 +39,19 @@ class Cluster:
 
 def build_das5(env: Environment | None = None, n_nodes: int = 40,
                spec: MachineSpec = DAS5, seed: int = 0,
-               solver: str | None = None) -> Cluster:
+               solver: str | None = None, scale: int = 1) -> Cluster:
     """A DAS-5-like cluster of *n_nodes* identical machines (paper §IV-A).
 
     *solver* selects the fabric's flow-solver mode (see
-    :class:`~repro.sim.flownet.FlowNetwork`).
+    :class:`~repro.sim.flownet.FlowNetwork`).  *scale* multiplies
+    *n_nodes* — the ×16 Fig. 2 runs build ``build_das5(scale=16)``-sized
+    fabrics (1088 nodes for the 68-node paper setup).
     """
     if n_nodes < 1:
         raise ValueError("n_nodes must be >= 1")
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    n_nodes *= scale
     env = env or Environment()
     nodes = [Node(env, f"node{i:03d}", spec) for i in range(n_nodes)]
     fabric = Fabric(env, solver=solver)

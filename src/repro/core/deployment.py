@@ -10,7 +10,7 @@ placement realizing the requested own-data fraction α.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..cluster import (Cluster, Container, ResourceCaps, build_das5)
 from ..fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
@@ -52,8 +52,14 @@ class DeploymentConfig:
     io_hedge: float | None = None
     # Flow-solver mode for the fabric: None → FlowNetwork's default
     # ("incremental"); "reference" retains the full-recompute path for
-    # perf comparisons (bit-identical trajectories either way).
+    # perf comparisons; "auto" picks per flush (bit-identical
+    # trajectories in every mode).
     solver: str | None = None
+    # Cluster scale multiplier: n_own and n_victim are both multiplied
+    # by `scale` when the deployment is built (DAS-5 ×16 → 1088 nodes).
+    # Kept as a separate knob so figure recipes stay written in paper
+    # units and the sweep cache keys change only through scaled().
+    scale: int = 1
 
     def __post_init__(self):
         if self.n_own < 1:
@@ -62,6 +68,15 @@ class DeploymentConfig:
             raise ValueError("n_victim must be >= 0")
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+
+    def scaled(self) -> "DeploymentConfig":
+        """Resolve the scale multiplier into explicit node counts."""
+        if self.scale == 1:
+            return self
+        return replace(self, n_own=self.n_own * self.scale,
+                       n_victim=self.n_victim * self.scale, scale=1)
 
 
 class MemFSSDeployment:
@@ -72,6 +87,7 @@ class MemFSSDeployment:
         # A shared mutable default instance would alias state across
         # deployments; build a fresh config per call instead.
         config = config if config is not None else DeploymentConfig()
+        config = config.scaled()
         self.config = config
         self.rng = RngRegistry(config.seed)
         self.cluster: Cluster = build_das5(

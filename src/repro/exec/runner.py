@@ -12,7 +12,9 @@ never a hung pool.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
@@ -27,6 +29,8 @@ from .stats import exec_stats
 __all__ = ["SweepRunner", "ScenarioResult", "ScenarioError"]
 
 BACKENDS = ("serial", "process")
+
+_log = logging.getLogger(__name__)
 
 
 class ScenarioError(RuntimeError):
@@ -91,10 +95,18 @@ class SweepRunner:
     cached scenarios are answered without executing anything, and fresh
     payloads are stored on the way out — both backends produce
     byte-identical payloads, so cache entries are backend-agnostic.
+
+    With *auto_fallback* (the default), a process sweep on a single-CPU
+    host silently degrades to the serial backend: spawning workers there
+    can only add interpreter-startup overhead (the BENCH_sweep 0.91x
+    hole), and payloads are byte-identical either way.  Requesting more
+    jobs than CPUs is likewise clamped to the CPU count.  Crash-semantics
+    tests that *need* real worker processes pass ``auto_fallback=False``.
     """
 
     def __init__(self, backend: str = "serial", jobs: int | None = None,
-                 cache: ResultCache | bool | None = None):
+                 cache: ResultCache | bool | None = None,
+                 auto_fallback: bool = True):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {BACKENDS}")
@@ -103,11 +115,24 @@ class SweepRunner:
         self.backend = backend
         self.jobs = jobs
         self.cache = ResultCache() if cache is True else (cache or None)
+        self.auto_fallback = auto_fallback
+
+    def _effective_backend(self) -> str:
+        if (self.backend == "process" and self.auto_fallback
+                and (os.cpu_count() or 1) <= 1):
+            exec_stats.serial_fallbacks += 1
+            _log.info(
+                "SweepRunner: single-CPU host; running the sweep on the "
+                "serial backend (process fan-out would only add spawn "
+                "overhead; results are byte-identical)")
+            return "serial"
+        return self.backend
 
     def run(self, specs: list[ScenarioSpec]) -> list[ScenarioResult]:
         """Execute *specs*; results come back in spec order."""
         specs = list(specs)
-        if self.backend == "process":
+        backend = self._effective_backend()
+        if backend == "process":
             exec_stats.sweeps_process += 1
         else:
             exec_stats.sweeps_serial += 1
@@ -120,7 +145,7 @@ class SweepRunner:
             else:
                 pending.append(i)
         if pending:
-            if self.backend == "process" and len(pending) > 1:
+            if backend == "process" and len(pending) > 1:
                 self._run_process(specs, pending, results)
             else:
                 self._run_serial(specs, pending, results)
@@ -142,8 +167,11 @@ class SweepRunner:
             results[i] = ScenarioResult(specs[i], payload, wall_s=wall)
 
     def _run_process(self, specs, pending, results) -> None:
-        jobs = min(self.jobs or (multiprocessing.cpu_count() or 1),
-                   len(pending))
+        cpus = os.cpu_count() or 1
+        jobs = min(self.jobs or cpus, len(pending))
+        if self.auto_fallback and jobs > cpus:
+            # Oversubscribed pool: clamp instead of thrashing the host.
+            jobs = cpus
         ctx = multiprocessing.get_context("spawn")
         with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
             futures = {pool.submit(_execute_timed, specs[i]): i

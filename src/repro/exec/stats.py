@@ -23,11 +23,14 @@ class ExecStats:
     surfaced as :class:`~repro.exec.runner.ScenarioError` (failed worker
     process or raising executor).  ``sweeps_serial`` / ``sweeps_process``
     count :meth:`SweepRunner.run` calls per backend.
+    ``serial_fallbacks`` counts process sweeps the runner downgraded to
+    serial because the host has a single CPU (such runs are also counted
+    in ``sweeps_serial`` — they executed serially).
     """
 
     _COUNTERS = ("scenarios_run", "cache_hits", "cache_misses",
                  "cache_invalidations", "cache_stores", "worker_crashes",
-                 "sweeps_serial", "sweeps_process")
+                 "sweeps_serial", "sweeps_process", "serial_fallbacks")
     __slots__ = _COUNTERS
 
     def __init__(self):

@@ -15,8 +15,8 @@ allocation, which is the standard fluid approximation for TCP/IB fabric
 sharing and the mechanism behind every bandwidth-contention number in the
 paper (victim NIC load in Fig. 2, TeraSort shuffle slowdown in Fig. 4, ...).
 
-Solver architecture (DESIGN.md §8)
-----------------------------------
+Solver architecture (DESIGN.md §8 and §11)
+------------------------------------------
 Max-min fairness is *separable* across connected components of the
 flow–link graph: a stripe write to one victim NIC cannot change rates on a
 node pair it shares no link with.  :class:`FlowNetwork` exploits that two
@@ -37,11 +37,25 @@ ways:
   per-stripe transfers a MemFSS write fan-out issues at one timestamp cost
   one solve instead of m.
 
-Both solver modes share the identical flush schedule and fill arithmetic
-(per-component progressive filling), so their simulated trajectories are
-bit-identical; only the amount of work per solve differs.  Process-wide
-:data:`flownet_stats` counters expose solves/rounds/flows touched for the
-perf suite (``benchmarks/bench_perf_suite.py``).
+Since the struct-of-arrays refactor (DESIGN.md §11) the mutable per-flow
+and per-link numbers live in slot-indexed numpy arrays owned by the
+network; :class:`NetFlow` / :class:`Link` objects are handles whose
+properties read the arrays while attached and scalar fallbacks once
+detached (which also keeps the dict-based reference oracle working
+unmodified on standalone objects).  The settle step and the per-component
+fill are vectorized, with every order-sensitive float reduction
+(class-byte accumulation, per-link used-rate sums) routed through
+``np.add.at`` / ``np.bincount`` so it accumulates in *creation order* —
+the same float sequence the per-object loops produced, keeping
+trajectories bit-identical (see the summation invariant in DESIGN.md §11).
+
+A third solver mode ``"auto"`` keeps the coalesced flush schedule and
+picks, per flush, between the per-component fill and one whole-graph
+vectorized fill via :class:`repro.sim.select.SolverSelector` — closing the
+fault-storm shape where component bookkeeping used to cost more than
+simply re-filling everything.  Process-wide :data:`flownet_stats` counters
+expose solves/rounds/flows touched and the auto decisions for the perf
+suite (``benchmarks/bench_perf_suite.py``).
 """
 
 from __future__ import annotations
@@ -51,12 +65,19 @@ import warnings
 from contextlib import contextmanager
 from typing import Iterable
 
+import numpy as np
+
 from .kernel import Environment, Event, SimulationError
+from .select import SolverSelector
 
 __all__ = ["Link", "NetFlow", "FlowNetwork", "progressive_fill",
            "FlowNetStats", "flownet_stats"]
 
 _EPS = 1e-9
+_PAD = -1            # padding value in per-flow link-slot rows
+_INIT_FLOW_SLOTS = 32
+_INIT_LINK_SLOTS = 16
+_INIT_PREFIXES = 4
 
 
 class FlowNetStats:
@@ -67,13 +88,16 @@ class FlowNetStats:
     mode, ``rounds`` progressive-filling iterations, ``flows_touched`` /
     ``links_touched`` the component sizes actually re-solved, and
     ``batch_coalesced`` the mutations that shared a solve with an earlier
-    one instead of paying their own.  ``stalemates`` counts the
-    numerical-stalemate exits of :func:`progressive_fill` (also warned
-    once per process — a stalemate means rates are only near-fair).
+    one instead of paying their own.  ``auto_full`` / ``auto_incremental``
+    count the per-flush strategy picks of the ``"auto"`` solver.
+    ``stalemates`` counts the numerical-stalemate exits of
+    :func:`progressive_fill` (also warned once per process — a stalemate
+    means rates are only near-fair).
     """
 
     _COUNTERS = ("solves", "full_solves", "rounds", "flows_touched",
-                 "links_touched", "batch_coalesced", "stalemates")
+                 "links_touched", "batch_coalesced", "auto_full",
+                 "auto_incremental", "stalemates")
     __slots__ = _COUNTERS + ("_stalemate_warned",)
 
     def __init__(self):
@@ -108,20 +132,80 @@ class Link:
     label before the first ``:``), the bytes that traffic class has moved
     through the link — how the tenant models measure the scavenging
     store's average pressure over a window without burst aliasing.
+
+    While owned by a :class:`FlowNetwork` (``_slot >= 0``) the mutable
+    numbers live in the network's link arrays; a standalone link (the
+    equivalence suite's detached clones) uses the scalar fallbacks.
     """
 
-    __slots__ = ("name", "capacity", "_busy_integral", "_used_rate",
-                 "class_bytes", "_net")
+    __slots__ = ("name", "_net", "_slot", "_cap_s", "_used_s", "_busy_s",
+                 "_cb_s")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
             raise SimulationError(f"link {name!r}: capacity must be positive")
         self.name = name
-        self.capacity = float(capacity)
-        self._used_rate = 0.0
-        self._busy_integral = 0.0
-        self.class_bytes: dict[str, float] = {}
         self._net: FlowNetwork | None = None
+        self._slot = -1
+        self._cap_s = float(capacity)
+        self._used_s = 0.0
+        self._busy_s = 0.0
+        self._cb_s: dict[str, float] = {}
+
+    @property
+    def capacity(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._l_cap[s])
+        return self._cap_s
+
+    @capacity.setter
+    def capacity(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._l_cap[s] = value
+        else:
+            self._cap_s = float(value)
+
+    @property
+    def _used_rate(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._l_used[s])
+        return self._used_s
+
+    @_used_rate.setter
+    def _used_rate(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._l_used[s] = value
+        else:
+            self._used_s = float(value)
+
+    @property
+    def _busy_integral(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._l_busy[s])
+        return self._busy_s
+
+    @_busy_integral.setter
+    def _busy_integral(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._l_busy[s] = value
+        else:
+            self._busy_s = float(value)
+
+    @property
+    def class_bytes(self) -> dict[str, float]:
+        """Per-class byte totals (materialized from the accumulator)."""
+        net = self._net
+        if net is None:
+            return self._cb_s
+        row = net._class_acc[self._slot]
+        return {p: float(row[i]) for i, p in enumerate(net._prefixes)
+                if row[i] != 0.0}
 
     @property
     def used_rate(self) -> float:
@@ -144,20 +228,26 @@ class Link:
 
 
 class NetFlow:
-    """A transfer crossing one or more links."""
+    """A transfer crossing one or more links.
 
-    __slots__ = ("links", "work", "remaining", "cap", "_rate", "done",
-                 "label", "class_prefix", "started_at", "finished_at",
-                 "_net", "_seq")
+    A handle over a slot in its network's flow arrays; detached flows
+    (standalone oracle clones, completed/removed flows) carry their final
+    values in scalar fallbacks.
+    """
+
+    __slots__ = ("links", "work", "done", "label", "class_prefix",
+                 "started_at", "finished_at", "_net", "_seq", "_slot",
+                 "_rate_s", "_rem_s", "_cap_s")
 
     def __init__(self, env: Environment, links: tuple[Link, ...],
                  work: float | None, cap: float, label: str,
                  net: "FlowNetwork | None" = None):
         self.links = links
         self.work = work
-        self.remaining = math.inf if work is None else float(work)
-        self.cap = float(cap)
-        self._rate = 0.0
+        self._slot = -1
+        self._rem_s = math.inf if work is None else float(work)
+        self._cap_s = float(cap)
+        self._rate_s = 0.0
         self.done: Event = env.event()
         self.label = label
         # Interned once here instead of a str.partition per flow per
@@ -168,6 +258,51 @@ class NetFlow:
         self.finished_at: float | None = None
         self._net = net
         self._seq = 0  # creation order within a FlowNetwork (see _solve)
+
+    @property
+    def remaining(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._f_rem[s])
+        return self._rem_s
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._f_rem[s] = value
+        else:
+            self._rem_s = float(value)
+
+    @property
+    def cap(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._f_cap[s])
+        return self._cap_s
+
+    @cap.setter
+    def cap(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._f_cap[s] = value
+        else:
+            self._cap_s = float(value)
+
+    @property
+    def _rate(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self._net._f_rate[s])
+        return self._rate_s
+
+    @_rate.setter
+    def _rate(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self._net._f_rate[s] = value
+        else:
+            self._rate_s = float(value)
 
     @property
     def rate(self) -> float:
@@ -190,100 +325,17 @@ class NetFlow:
         return f"<NetFlow {self.label or path} remaining={self.remaining:.3g}>"
 
 
-def _fill_component(flows: list[NetFlow], links: list[Link],
-                    stats: FlowNetStats) -> None:
-    """Progressive filling over one (closed) flow–link component.
-
-    Sets ``flow._rate`` / ``link._used_rate``.  Same arithmetic as the
-    classic algorithm but with the per-round dict-of-Link counting
-    replaced by precomputed link index arrays — every delta, saturation
-    threshold and fixing test computes the identical float sequence, so
-    the rates match :func:`progressive_fill` bit for bit on a connected
-    graph.
-    """
-    for f in flows:
-        f._rate = 0.0
-    if not flows:
-        for l in links:
-            l._used_rate = 0.0
-        return
-    nlinks = len(links)
-    index = {}
-    avail = [0.0] * nlinks
-    sat_eps = [0.0] * nlinks
-    for i, l in enumerate(links):
-        index[l] = i
-        avail[i] = l.capacity
-        sat_eps[i] = _EPS * max(l.capacity, 1.0)
-    fidx = [tuple(index[l] for l in f.links) for f in flows]
-    stats.flows_touched += len(flows)
-    stats.links_touched += nlinks
-    unfixed = list(range(len(flows)))
-    guard = len(flows) + nlinks + 2
-    while unfixed and guard > 0:
-        guard -= 1
-        stats.rounds += 1
-        counts = [0] * nlinks
-        for i in unfixed:
-            for li in fidx[i]:
-                counts[li] += 1
-        delta = math.inf
-        for li in range(nlinks):
-            n = counts[li]
-            if n:
-                d = avail[li] / n
-                if d < delta:
-                    delta = d
-        for i in unfixed:
-            f = flows[i]
-            d = f.cap - f._rate
-            if d < delta:
-                delta = d
-        if delta < 0:
-            delta = 0.0
-        for i in unfixed:
-            flows[i]._rate += delta
-        saturated = [False] * nlinks
-        for li in range(nlinks):
-            n = counts[li]
-            if n:
-                avail[li] -= delta * n
-                if avail[li] <= sat_eps[li]:
-                    saturated[li] = True
-        survivors = []
-        for i in unfixed:
-            f = flows[i]
-            if f._rate >= f.cap - _EPS:
-                continue
-            fixed = False
-            for li in fidx[i]:
-                if saturated[li]:
-                    fixed = True
-                    break
-            if not fixed:
-                survivors.append(i)
-        if len(survivors) == len(unfixed):
-            stats.record_stalemate()
-            break  # numerical stalemate; rates are already near-fair
-        unfixed = survivors
-    used = [0.0] * nlinks
-    for i, f in enumerate(flows):
-        r = f._rate
-        for li in fidx[i]:
-            used[li] += r
-    for li in range(nlinks):
-        links[li]._used_rate = used[li]
-
-
 def progressive_fill(flows: list[NetFlow], links: Iterable[Link]) -> None:
     """Set ``flow.rate`` for every flow to the max-min fair allocation.
 
     The standalone oracle: one coupled fill over everything it is given,
-    exactly the classic algorithm.  :class:`FlowNetwork` instead fills
-    each connected component separately (identical allocation — max-min
-    fairness is separable across components) so that incremental and
-    full solves agree bit for bit; this entry point is kept for direct
-    use and for the equivalence test suite.
+    exactly the classic dict-based algorithm, deliberately left
+    unvectorized — it is both the equivalence-suite ground truth and the
+    retained pre-optimization path the ``"reference"`` solver mode times
+    against.  :class:`FlowNetwork` instead fills each connected component
+    separately (identical allocation — max-min fairness is separable
+    across components) so that incremental and full solves agree bit for
+    bit on the tracked scenarios.
     """
     for f in flows:
         f.rate = 0.0
@@ -335,12 +387,15 @@ class FlowNetwork:
 
     *solver* selects the solve strategy: ``"incremental"`` (default)
     re-fills only the connected components touched since the last solve;
-    ``"reference"`` re-fills every component from scratch on every solve
-    — the retained pre-optimization path the perf suite times against.
-    Both produce bit-identical trajectories.
+    ``"reference"`` re-fills every component from scratch, synchronously,
+    on every mutation — the retained pre-optimization path the perf suite
+    times against; ``"auto"`` keeps the incremental flush schedule but
+    picks per flush between the component fill and one whole-graph
+    vectorized fill (see :mod:`repro.sim.select`).  All modes produce
+    bit-identical trajectories on the tracked scenarios.
     """
 
-    SOLVERS = ("incremental", "reference")
+    SOLVERS = ("incremental", "reference", "auto")
 
     def __init__(self, env: Environment, solver: str | None = None):
         if solver is None:
@@ -350,27 +405,77 @@ class FlowNetwork:
                                   f"choose one of {self.SOLVERS}")
         self.env = env
         self.solver = solver
+        self._selector = SolverSelector() if solver == "auto" else None
         self._links: dict[str, Link] = {}
-        self._flows: list[NetFlow] = []
-        #: adjacency: link -> set of active flows crossing it
-        self._flows_of: dict[Link, set[NetFlow]] = {}
-        #: links whose component must be re-solved at the next flush
-        self._dirty: set[Link] = set()
+        self._link_objs: list[Link] = []
+        # -- link slot arrays (slots are never freed: topology is add-only)
+        nl = _INIT_LINK_SLOTS
+        self._nl = 0
+        self._l_cap = np.zeros(nl)
+        self._l_used = np.zeros(nl)
+        self._l_busy = np.zeros(nl)
+        #: class-byte accumulator [link slot, interned prefix]
+        self._class_acc = np.zeros((nl, _INIT_PREFIXES))
+        self._prefixes: list[str] = []
+        self._prefix_idx: dict[str, int] = {}
+        #: global-link-slot -> component-local index scratch; the extra
+        #: trailing cell is the sentinel the _PAD entries map to.
+        self._loc = np.zeros(nl + 1, dtype=np.int32)
+        # -- flow slot arrays
+        nf = _INIT_FLOW_SLOTS
+        self._W = 4  # link-row width (verbs paths use 2, tcp uses 4)
+        self._f_cap = np.zeros(nf)
+        self._f_rem = np.zeros(nf)
+        self._f_rate = np.zeros(nf)
+        self._f_pers = np.zeros(nf, dtype=bool)
+        self._f_prefix = np.full(nf, -1, dtype=np.int32)
+        self._f_links = np.full((nf, self._W), _PAD, dtype=np.int32)
+        self._f_deg = np.zeros(nf, dtype=np.int32)
+        self._alive = np.zeros(nf, dtype=bool)
+        self._objs: list[NetFlow | None] = [None] * nf
+        self._seqs: list[int] = [0] * nf
+        self._free = list(range(nf - 1, -1, -1))
+        self._freeq: list[int] = []
+        self._act = np.zeros(nf, dtype=np.int32)
+        self._act_n = 0
+        self._act_dead = 0
+        #: adjacency: link slot -> set of active flow slots crossing it
+        self._flows_of: list[set[int]] = []
+        #: link slots whose component must be re-solved at the next flush
+        self._dirty: set[int] = set()
         self._pending = False
         self._batch_depth = 0
         self._ops_since_flush = 0
         self._flow_seq = 0
         self._last_update = env.now
-        self._wakeup_token = 0
+        self._wakeup_fn = self._wakeup
+        self._wakeup_cb = None
 
     # -- topology -------------------------------------------------------------
     def add_link(self, name: str, capacity: float) -> Link:
         if name in self._links:
             raise SimulationError(f"duplicate link {name!r}")
         link = Link(name, capacity)
+        s = self._nl
+        if s == len(self._l_cap):
+            new = s * 2
+            for attr in ("_l_cap", "_l_used", "_l_busy"):
+                arr = np.zeros(new)
+                arr[:s] = getattr(self, attr)
+                setattr(self, attr, arr)
+            acc = np.zeros((new, self._class_acc.shape[1]))
+            acc[:s] = self._class_acc
+            self._class_acc = acc
+            self._loc = np.zeros(new + 1, dtype=np.int32)
+        self._l_cap[s] = link._cap_s
+        self._l_used[s] = 0.0
+        self._l_busy[s] = 0.0
         link._net = self
+        link._slot = s
+        self._nl += 1
         self._links[name] = link
-        self._flows_of[link] = set()
+        self._link_objs.append(link)
+        self._flows_of.append(set())
         return link
 
     def link(self, name: str) -> Link:
@@ -390,18 +495,18 @@ class FlowNetwork:
         if self._links.get(link.name) is not link:
             raise SimulationError(f"link {link.name!r} not in this network")
         self._settle()
-        link.capacity = float(capacity)
-        self._mark((link,))
+        self._l_cap[link._slot] = float(capacity)
+        self._mark((link._slot,))
 
     @property
     def links(self) -> tuple[Link, ...]:
-        return tuple(self._links.values())
+        return tuple(self._link_objs)
 
     @property
     def flows(self) -> tuple[NetFlow, ...]:
         if self._pending:
             self._flush()
-        return tuple(self._flows)
+        return tuple(self._objs[s] for s in self._active())
 
     # -- batching -------------------------------------------------------------
     @contextmanager
@@ -439,29 +544,31 @@ class FlowNetwork:
         flow = NetFlow(self.env, path, nbytes, cap, label, net=self)
         flow._seq = self._flow_seq
         self._flow_seq += 1
-        if flow.remaining <= _EPS and not flow.persistent:
+        if flow._rem_s <= _EPS and not flow.persistent:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
             return flow
-        self._flows.append(flow)
+        self._attach(flow)
+        s = flow._slot
         for l in path:
-            self._flows_of[l].add(flow)
-        self._mark(path)
+            self._flows_of[l._slot].add(s)
+        self._mark([l._slot for l in path])
         return flow
 
     def remove(self, flow: NetFlow) -> float:
         """Withdraw a flow; returns remaining work."""
         self._settle()
-        if flow not in self._flows:
+        if flow._net is not self or flow._slot < 0:
             return 0.0
-        self._flows.remove(flow)
+        s = flow._slot
+        remaining = float(self._f_rem[s])
         for l in flow.links:
-            self._flows_of[l].discard(flow)
-        remaining = flow.remaining
-        flow._rate = 0.0
+            self._flows_of[l._slot].discard(s)
+        self._detach(flow)
+        flow._rem_s = remaining
         if not flow.persistent and not flow.done.triggered:
             flow.done.fail(SimulationError(f"flow {flow.label!r} cancelled"))
-        self._mark(flow.links)
+        self._mark([l._slot for l in flow.links])
         return remaining
 
     def consume(self, links: Iterable[Link], nbytes: float,
@@ -482,16 +589,131 @@ class FlowNetwork:
     def busy_time(self, link: Link) -> float:
         """Capacity-normalized busy integral of *link*."""
         self._settle()
-        return link._busy_integral / link.capacity
+        return float(self._l_busy[link._slot]) / float(self._l_cap[link._slot])
 
     def settle(self) -> None:
         """Bring byte integrals up to the current time (for probes)."""
         self._settle()
 
+    # -- flow slot machinery ---------------------------------------------------
+    def _active(self) -> np.ndarray:
+        """Active flow slots in creation order (tombstones filtered)."""
+        a = self._act[: self._act_n]
+        if self._act_dead:
+            a = a[self._alive[a]]
+        return a
+
+    def _compact(self) -> None:
+        """Drop tombstones from ``_act`` and promote quarantined slots.
+
+        Only after compaction may a freed slot be reused: until then a
+        stale ``_act`` entry still references it, and reusing it would
+        resurrect the entry as a duplicate of the new flow.
+        """
+        a = self._active()
+        n = len(a)
+        self._act[:n] = a
+        self._act_n = n
+        self._act_dead = 0
+        self._free.extend(self._freeq)
+        self._freeq.clear()
+
+    def _grow_flows(self) -> None:
+        old = len(self._objs)
+        new = old * 2
+        for name in ("_f_cap", "_f_rem", "_f_rate"):
+            arr = np.zeros(new)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        for name in ("_f_pers", "_alive"):
+            arr = np.zeros(new, dtype=bool)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        pref = np.full(new, -1, dtype=np.int32)
+        pref[:old] = self._f_prefix
+        self._f_prefix = pref
+        rows = np.full((new, self._W), _PAD, dtype=np.int32)
+        rows[:old] = self._f_links
+        self._f_links = rows
+        deg = np.zeros(new, dtype=np.int32)
+        deg[:old] = self._f_deg
+        self._f_deg = deg
+        self._objs.extend([None] * (new - old))
+        self._seqs.extend([0] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _widen_rows(self, width: int) -> None:
+        rows = np.full((len(self._objs), width), _PAD, dtype=np.int32)
+        rows[:, : self._W] = self._f_links
+        self._f_links = rows
+        self._W = width
+
+    def _intern_prefix(self, prefix: str) -> int:
+        idx = self._prefix_idx.get(prefix)
+        if idx is None:
+            idx = len(self._prefixes)
+            if idx == self._class_acc.shape[1]:
+                acc = np.zeros((self._class_acc.shape[0], idx * 2))
+                acc[:, :idx] = self._class_acc
+                self._class_acc = acc
+            self._prefix_idx[prefix] = idx
+            self._prefixes.append(prefix)
+        return idx
+
+    def _attach(self, flow: NetFlow) -> None:
+        if not self._free:
+            self._compact()
+            if not self._free:
+                self._grow_flows()
+        s = self._free.pop()
+        flow._slot = s
+        deg = len(flow.links)
+        if deg > self._W:
+            self._widen_rows(deg)
+        self._f_cap[s] = flow._cap_s
+        self._f_rem[s] = flow._rem_s
+        self._f_rate[s] = 0.0
+        self._f_pers[s] = flow.work is None
+        self._f_prefix[s] = (-1 if flow.class_prefix is None
+                             else self._intern_prefix(flow.class_prefix))
+        self._f_links[s, :deg] = [l._slot for l in flow.links]
+        self._f_links[s, deg:] = _PAD
+        self._f_deg[s] = deg
+        self._alive[s] = True
+        self._objs[s] = flow
+        self._seqs[s] = flow._seq
+        if self._act_n == len(self._act):
+            if self._act_dead > len(self._act) // 2:
+                self._compact()
+            else:
+                act = np.zeros(len(self._act) * 2, dtype=np.int32)
+                act[: self._act_n] = self._act[: self._act_n]
+                self._act = act
+        self._act[self._act_n] = s
+        self._act_n += 1
+
+    def _detach(self, flow: NetFlow) -> None:
+        """Array-side teardown: copy state to scalars, tombstone the slot.
+
+        Tombstones are inert in the vectorized settle (rate pinned to
+        0.0, and ``x - 0.0 == x`` / ``x + 0.0 == x`` bitwise), so the
+        ``_act`` buffer is compacted lazily.
+        """
+        s = flow._slot
+        flow._cap_s = float(self._f_cap[s])
+        flow._rem_s = float(self._f_rem[s])
+        flow._rate_s = 0.0
+        flow._slot = -1
+        self._alive[s] = False
+        self._f_rate[s] = 0.0
+        self._objs[s] = None
+        self._freeq.append(s)
+        self._act_dead += 1
+
     # -- internals --------------------------------------------------------------
-    def _mark(self, links: Iterable[Link]) -> None:
-        """Mark *links* dirty and arrange for a coalesced solve."""
-        self._dirty.update(links)
+    def _mark(self, link_slots: Iterable[int]) -> None:
+        """Mark link slots dirty and arrange for a coalesced solve."""
+        self._dirty.update(link_slots)
         self._ops_since_flush += 1
         if self.solver == "reference":
             # Pre-PR behavior, retained for the perf suite: solve
@@ -518,27 +740,95 @@ class FlowNetwork:
         dt = now - self._last_update
         if dt <= 0:
             return
-        for f in self._flows:
-            rate = f._rate
-            if rate > 0:
-                if not f.persistent:
-                    f.remaining -= rate * dt
-                    if f.remaining < 0:
-                        f.remaining = 0.0
-                prefix = f.class_prefix
-                if prefix is not None:
-                    moved = rate * dt
-                    for l in f.links:
-                        cb = l.class_bytes
-                        cb[prefix] = cb.get(prefix, 0.0) + moved
-        for l in self._links.values():
-            ur = l._used_rate
-            if ur:
-                l._busy_integral += ur * dt
+        # Work drain: identical elementwise float sequence as the old
+        # per-flow loop (remaining -= rate*dt, clamp at zero); persistent
+        # flows subtract exactly 0.0 so their inf remaining is untouched.
+        drain = np.where(self._f_pers, 0.0, self._f_rate * dt)
+        np.subtract(self._f_rem, drain, out=self._f_rem)
+        np.maximum(self._f_rem, 0.0, out=self._f_rem)
+        # Class-byte accounting must accumulate in creation order (float
+        # addition order is observable); the raw _act buffer is creation
+        # ordered and its tombstones contribute exactly 0.0.  np.add.at
+        # applies repeated indices sequentially in input order.
+        aw = self._act[: self._act_n]
+        if len(aw):
+            pf = self._f_prefix[aw]
+            sel = pf >= 0
+            if sel.any():
+                fs = aw[sel]
+                moved = np.repeat(self._f_rate[fs] * dt, self._W)
+                lf = self._f_links[fs].ravel()
+                ok = lf >= 0
+                np.add.at(self._class_acc,
+                          (lf[ok], np.repeat(pf[sel], self._W)[ok]),
+                          moved[ok])
+        nl = self._nl
+        self._l_busy[:nl] += self._l_used[:nl] * dt
         self._last_update = now
 
-    def _solve(self) -> None:
-        """Re-fill the dirty components (or everything, in reference mode)."""
+    def _fill_vec(self, fs: np.ndarray, ls: np.ndarray,
+                  stats: FlowNetStats) -> None:
+        """Vectorized progressive filling over one closed flow–link set.
+
+        *fs* must be in creation (seq) order; *ls* order is free (only
+        min-reductions and elementwise updates touch links, and the
+        per-link used-rate writeback accumulates in flow order via
+        bincount).  Computes the identical float sequence as the classic
+        per-object algorithm — see DESIGN.md §11.
+        """
+        nf = len(fs)
+        nl = len(ls)
+        stats.flows_touched += nf
+        stats.links_touched += nl
+        if nf == 0:
+            self._l_used[ls] = 0.0
+            return
+        loc = self._loc
+        loc[ls] = np.arange(nl, dtype=np.int32)
+        loc[len(loc) - 1] = nl  # _PAD rows resolve to the sentinel column
+        rows = loc[self._f_links[fs]]          # nf × W local link ids
+        flat = rows.ravel()
+        caps = self._f_cap[fs]
+        rates = np.zeros(nf)
+        avail = self._l_cap[ls].copy()
+        sat_eps = _EPS * np.maximum(avail, 1.0)
+        unf = np.ones(nf, dtype=bool)
+        guard = nf + nl + 2
+        while unf.any() and guard > 0:
+            guard -= 1
+            stats.rounds += 1
+            counts = np.bincount(rows[unf].ravel(), minlength=nl + 1)[:nl]
+            lm = counts > 0
+            delta = np.inf
+            if lm.any():
+                delta = (avail[lm] / counts[lm]).min()
+            # fmin skips NaN headrooms exactly like the scalar `if d <
+            # delta` comparison does.
+            delta = float(np.fmin.reduce(caps[unf] - rates[unf],
+                                         initial=delta))
+            if delta < 0:
+                delta = 0.0
+            rates[unf] += delta
+            avail[lm] -= delta * counts[lm]
+            saturated = np.zeros(nl + 1, dtype=bool)
+            saturated[:nl] = lm & (avail <= sat_eps)
+            newly = unf & ((rates >= caps - _EPS) | saturated[rows].any(axis=1))
+            if not newly.any():
+                stats.record_stalemate()
+                break  # numerical stalemate; rates are already near-fair
+            unf &= ~newly
+        self._f_rate[fs] = rates
+        # Per-link used-rate: bincount accumulates weights sequentially in
+        # input order == flow creation order, matching the scalar loop.
+        used = np.bincount(flat, weights=np.repeat(rates, self._W),
+                           minlength=nl + 1)[:nl]
+        self._l_used[ls] = used
+
+    def _solve(self, a: np.ndarray) -> None:
+        """Re-fill the dirty components (or everything, per solver mode).
+
+        *a* is the active flow slots in creation order.
+        """
         stats = flownet_stats
         if self.solver == "reference":
             # The verbatim pre-PR solver: one coupled dict-based fill over
@@ -547,42 +837,70 @@ class FlowNetwork:
             # golden tests and the perf suite assert trajectory identity
             # on the tracked scenarios.)
             stats.full_solves += 1
-            stats.flows_touched += len(self._flows)
-            stats.links_touched += len(self._links)
+            stats.flows_touched += len(a)
+            stats.links_touched += self._nl
             self._dirty.clear()
-            progressive_fill(self._flows, self._links.values())
+            progressive_fill([self._objs[s] for s in a], self._link_objs)
             return
         if not self._dirty:
             return
+        if self.solver == "auto":
+            decision = self._selector.decide(
+                len(self._dirty), self._nl, len(a), self.env.now)
+            if decision == "full":
+                # One whole-graph coupled fill, skipping the component
+                # walk.  Below the selector's min_links the reference
+                # dict fill wins (vector setup costs more than the whole
+                # computation there); above it, the vectorized fill does.
+                # Both compute the identical float sequence.
+                stats.auto_full += 1
+                stats.full_solves += 1
+                self._dirty.clear()
+                if self._nl <= self._selector.min_links:
+                    stats.flows_touched += len(a)
+                    stats.links_touched += self._nl
+                    progressive_fill([self._objs[s] for s in a],
+                                     self._link_objs)
+                else:
+                    self._fill_vec(a, np.arange(self._nl, dtype=np.int32),
+                                   stats)
+                return
+            stats.auto_incremental += 1
         todo = list(self._dirty)
         self._dirty.clear()
         flows_of = self._flows_of
-        seen: set[Link] = set()
+        f_links = self._f_links
+        f_deg = self._f_deg
+        seqs = self._seqs
+        seen: set[int] = set()
         for seed in todo:
             if seed in seen:
                 continue
             # Walk this connected component of the flow–link graph.
             comp_links = [seed]
-            comp_flows: list[NetFlow] = []
-            seen_flows: set[NetFlow] = set()
+            comp_flows: list[int] = []
+            seen_flows: set[int] = set()
             seen.add(seed)
             stack = [seed]
             while stack:
-                link = stack.pop()
-                for f in flows_of[link]:
-                    if f not in seen_flows:
-                        seen_flows.add(f)
-                        comp_flows.append(f)
-                        for l in f.links:
-                            if l not in seen:
-                                seen.add(l)
-                                comp_links.append(l)
-                                stack.append(l)
+                li = stack.pop()
+                for fslot in flows_of[li]:
+                    if fslot not in seen_flows:
+                        seen_flows.add(fslot)
+                        comp_flows.append(fslot)
+                        row = f_links[fslot]
+                        for k in range(f_deg[fslot]):
+                            lj = int(row[k])
+                            if lj not in seen:
+                                seen.add(lj)
+                                comp_links.append(lj)
+                                stack.append(lj)
             # Canonical creation order: BFS discovery order depends on set
-            # iteration (id-hashed), and the float sum behind each link's
-            # used_rate must be run-to-run and mode-to-mode deterministic.
-            comp_flows.sort(key=lambda f: f._seq)
-            _fill_component(comp_flows, comp_links, stats)
+            # iteration, and the float sum behind each link's used_rate
+            # must be run-to-run and mode-to-mode deterministic.
+            comp_flows.sort(key=seqs.__getitem__)
+            self._fill_vec(np.asarray(comp_flows, dtype=np.int32),
+                           np.asarray(comp_links, dtype=np.int32), stats)
 
     def _flush(self) -> None:
         """Coalesced settle + solve + completion drain + wakeup."""
@@ -600,43 +918,48 @@ class FlowNetwork:
         dirty = self._dirty
         flows_of = self._flows_of
         while True:
-            finished = [f for f in self._flows
-                        if not f.persistent and f.remaining <= _EPS]
-            for f in finished:
-                self._flows.remove(f)
-                for l in f.links:
-                    flows_of[l].discard(f)
-                dirty.update(f.links)
-                f._rate = 0.0
-                f.remaining = 0.0
-                f.finished_at = now
-                f.done.succeed(f)
-            self._solve()
+            a = self._active()
+            if len(a):
+                fin = ~self._f_pers[a] & (self._f_rem[a] <= _EPS)
+                if fin.any():
+                    for s in a[fin]:  # creation order, like the old scan
+                        flow = self._objs[s]
+                        si = int(s)
+                        for l in flow.links:
+                            flows_of[l._slot].discard(si)
+                            dirty.add(l._slot)
+                        self._detach(flow)
+                        flow._rem_s = 0.0
+                        flow.finished_at = now
+                        flow.done.succeed(flow)
+                    a = self._active()
+            self._solve(a)
             horizon = math.inf
-            for f in self._flows:
-                rate = f._rate
-                if rate > 0 and not f.persistent:
-                    h = f.remaining / rate
-                    if h < horizon:
-                        horizon = h
-            if horizon >= min_dt or horizon is math.inf:
-                break
-            for f in self._flows:
-                rate = f._rate
-                if (not f.persistent and rate > 0
-                        and f.remaining / rate < min_dt):
-                    f.remaining = 0.0
-        self._wakeup_token += 1
-        token = self._wakeup_token
-        if horizon is not math.inf:
-            self.env.call_later(horizon, lambda: self._on_wakeup(token))
+            if len(a):
+                rate_a = self._f_rate[a]
+                m = (rate_a > 0) & ~self._f_pers[a]
+                if m.any():
+                    h = self._f_rem[a[m]] / rate_a[m]
+                    horizon = float(h.min())
+                    if horizon < min_dt:
+                        # Sub-resolution completions: drain them at the
+                        # current instant.
+                        self._f_rem[a[m][h < min_dt]] = 0.0
+                        continue
+            break
+        cb = self._wakeup_cb
+        if cb is not None and cb.fn is self._wakeup_fn:
+            # Lazy-cancel the superseded wakeup (identity-checked: a
+            # fired slot returns to the pool and may belong to another
+            # scheduler by now).
+            cb.fn = None
+        self._wakeup_cb = (self.env.call_later(horizon, self._wakeup_fn)
+                           if horizon != math.inf else None)
 
     # Kept under its historical name for the sibling FluidResource's sake:
     # a flush *is* the rebalance, now coalesced.
     _rebalance = _flush
 
-    def _on_wakeup(self, token: int) -> None:
-        if token != self._wakeup_token:
-            return
+    def _wakeup(self) -> None:
         self._settle()
         self._flush()

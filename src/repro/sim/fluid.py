@@ -13,18 +13,40 @@ This single abstraction reproduces the contention effects the paper relies
 on: an extra store flow on a victim NIC takes a fair share away from the
 tenant's shuffle traffic; store ingest on the memory bus slows STREAM by
 exactly the bandwidth it consumes.
+
+Struct-of-arrays state (DESIGN.md §11)
+--------------------------------------
+Per-flow state (cap, rate, work remaining) lives in parallel numpy arrays
+owned by the resource; a :class:`Flow` object is a *handle* holding a slot
+index.  The settle step (drain progress over a time delta) is a pair of
+vector ops instead of a Python loop, and every reduction that feeds the
+simulated trajectory preserves the original *creation-order* float
+arithmetic (sequential sums, elementwise updates) so results stay
+bit-identical to the per-object implementation — see the summation
+invariant in DESIGN.md §11.  ``maxmin_allocate`` itself is deliberately
+NOT vectorized: its sorted sequential share recurrence has no
+order-preserving vector equivalent, and it runs over active flows only.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+
+import numpy as np
 
 from .kernel import Environment, Event, SimulationError
 
 __all__ = ["Flow", "FluidResource", "maxmin_allocate"]
 
 _EPS = 1e-9
+_INIT_SLOTS = 16
+#: At or below this many active flows _rebalance runs on Python scalars.
+#: The vector path only vectorizes the finish scan and the horizon — the
+#: max-min allocation itself is the same sequential Python loop — so its
+#: ~10 fixed-cost numpy temporaries per call beat the scalar loops only
+#: once populations reach the mid tens (fig. 2 profiles put >85% of
+#: rebalances at or under this size).
+_SCALAR_MAX = 32
 
 
 def maxmin_allocate(capacity: float, caps: list[float]) -> list[float]:
@@ -59,6 +81,33 @@ def maxmin_allocate(capacity: float, caps: list[float]) -> list[float]:
     return rates
 
 
+_share_cache: dict = {}
+
+
+def _equal_share(capacity: float, n: int):
+    """Memoized ``maxmin_allocate(capacity, [inf]*n)`` plus its sum.
+
+    Uncapped equal demands are the dominant meter population; their
+    allocation depends only on ``(capacity, n)``, so the exact rate list
+    the general routine produces — including its sequential
+    ``remaining / (n - pos)`` float schedule — is computed once and
+    reused.  Returns ``(rates, rates_arr, used)``; callers must treat
+    all three as immutable.
+    """
+    key = (capacity, n)
+    hit = _share_cache.get(key)
+    if hit is None:
+        if len(_share_cache) >= 4096:
+            _share_cache.clear()
+        rates = maxmin_allocate(capacity, [math.inf] * n)
+        used = 0.0
+        for r in rates:
+            used += r
+        hit = (rates, np.asarray(rates), used)
+        _share_cache[key] = hit
+    return hit
+
+
 class Flow:
     """A unit of demand on a :class:`FluidResource`.
 
@@ -67,10 +116,15 @@ class Flow:
     drains.  A flow with ``work=None`` is *persistent*: it consumes its fair
     share forever (used for steady background demands) and must be removed
     explicitly.
+
+    While attached to its resource (``_slot >= 0``) the mutable numbers
+    live in the resource's slot arrays; once detached (completed or
+    removed) they are copied back to the scalar fallbacks so late readers
+    still see final values.
     """
 
-    __slots__ = ("resource", "work", "remaining", "cap", "rate", "done",
-                 "label", "started_at", "finished_at")
+    __slots__ = ("resource", "work", "done", "label", "started_at",
+                 "finished_at", "_slot", "_rem_s", "_rate_s", "_cap_s")
 
     def __init__(self, resource: "FluidResource", work: float | None,
                  cap: float = math.inf, label: str = ""):
@@ -80,13 +134,63 @@ class Flow:
             raise SimulationError(f"flow cap must be positive, got {cap}")
         self.resource = resource
         self.work = work
-        self.remaining = math.inf if work is None else float(work)
-        self.cap = float(cap)
-        self.rate = 0.0
+        self._slot = -1
+        self._rem_s = math.inf if work is None else float(work)
+        self._cap_s = float(cap)
+        self._rate_s = 0.0
         self.done: Event = resource.env.event()
         self.label = label
         self.started_at = resource.env.now
         self.finished_at: float | None = None
+
+    @property
+    def remaining(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self.resource._f_rem[s])
+        return self._rem_s
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self.resource._f_rem[s] = value
+        else:
+            self._rem_s = float(value)
+
+    @property
+    def rate(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self.resource._f_rate[s])
+        return self._rate_s
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            self.resource._f_rate[s] = value
+        else:
+            self._rate_s = float(value)
+
+    @property
+    def cap(self) -> float:
+        s = self._slot
+        if s >= 0:
+            return float(self.resource._f_cap[s])
+        return self._cap_s
+
+    @cap.setter
+    def cap(self, value: float) -> None:
+        s = self._slot
+        if s >= 0:
+            res = self.resource
+            old = float(res._f_cap[s])
+            res._f_cap[s] = value
+            if (old != math.inf) != (float(value) != math.inf):
+                res._capped += 1 if float(value) != math.inf else -1
+        else:
+            self._cap_s = float(value)
 
     @property
     def persistent(self) -> bool:
@@ -99,7 +203,14 @@ class Flow:
 
 class FluidResource:
     """A single shared capacity (one NIC direction, one memory bus, one CPU
-    socket pair) dividing its rate among flows by capped max-min fairness."""
+    socket pair) dividing its rate among flows by capped max-min fairness.
+
+    State is struct-of-arrays: slot-indexed cap/rate/remaining vectors, an
+    ``_act`` append-only active-slot buffer in creation order (with
+    tombstones, compacted lazily), and a quarantined free list so a slot
+    freed this instant cannot be reused while a stale ``_act`` entry still
+    points at it.
+    """
 
     def __init__(self, env: Environment, capacity: float, name: str = ""):
         if capacity <= 0:
@@ -107,27 +218,54 @@ class FluidResource:
         self.env = env
         self.capacity = float(capacity)
         self.name = name
-        self._flows: list[Flow] = []
+        n = _INIT_SLOTS
+        self._f_cap = np.zeros(n)
+        self._f_rem = np.zeros(n)
+        self._f_rate = np.zeros(n)
+        self._f_pers = np.zeros(n, dtype=bool)
+        self._alive = np.zeros(n, dtype=bool)
+        self._objs: list[Flow | None] = [None] * n
+        self._free = list(range(n - 1, -1, -1))
+        self._freeq: list[int] = []
+        self._act = np.zeros(n, dtype=np.int32)
+        self._act_n = 0
+        self._act_dead = 0
+        # Exact alive slots in creation order, maintained eagerly: the
+        # scalar paths iterate it directly and _active() builds from it,
+        # skipping the tombstone mask of the append-only _act buffer.
+        self._act_list: list[int] = []
+        # Attached flows with a finite rate cap; when zero, the active
+        # population is uncapped-equal and its allocation is memoizable.
+        self._capped = 0
+        # Attached persistent flows; when zero the per-flow persistence
+        # checks (and the _f_pers gathers) can be skipped wholesale.
+        self._pers_n = 0
         self._last_update = env.now
-        self._wakeup: Event | None = None
-        self._wakeup_token = 0
+        # Identity-stable bound method: _arm_wakeup lazy-cancels the
+        # previous wakeup only when the slot still holds *this* function
+        # (a fired slot may already belong to another scheduler).
+        self._wakeup_fn = self._wakeup
+        self._wakeup_cb = None
         # Integral of used rate over time, for utilization accounting.
         self._busy_integral = 0.0
+        # Total allocated rate, kept current by _rebalance as the same
+        # sequential creation-order sum the settle loop used to compute.
+        self._used_now = 0.0
 
     # -- public API ----------------------------------------------------------
     @property
     def flows(self) -> tuple[Flow, ...]:
-        return tuple(self._flows)
+        return tuple(self._objs[s] for s in self._active())
 
     @property
     def used_rate(self) -> float:
         """Instantaneous total allocated rate."""
-        return sum(f.rate for f in self._flows)
+        return self._used_now
 
     @property
     def utilization(self) -> float:
         """Instantaneous utilization in [0, 1]."""
-        return self.used_rate / self.capacity
+        return self._used_now / self.capacity
 
     def busy_time(self) -> float:
         """Capacity-normalized busy integral: ∫ used/capacity dt."""
@@ -139,11 +277,11 @@ class FluidResource:
         """Add a flow; returns it (wait on ``flow.done`` for completion)."""
         self._settle()
         flow = Flow(self, work, cap, label)
-        if flow.remaining <= _EPS and not flow.persistent:
+        if flow._rem_s <= _EPS and not flow.persistent:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
             return flow
-        self._flows.append(flow)
+        self._attach(flow)
         self._rebalance()
         return flow
 
@@ -154,11 +292,11 @@ class FluidResource:
         non-persistent flow is failed so waiters do not hang.
         """
         self._settle()
-        if flow not in self._flows:
+        if flow.resource is not self or flow._slot < 0:
             return 0.0
-        self._flows.remove(flow)
-        remaining = flow.remaining
-        flow.rate = 0.0
+        remaining = float(self._f_rem[flow._slot])
+        self._detach(flow)
+        flow._rem_s = remaining
         if not flow.persistent and not flow.done.triggered:
             flow.done.fail(SimulationError(f"flow {flow.label!r} cancelled"))
         self._rebalance()
@@ -193,22 +331,108 @@ class FluidResource:
             raise
         return flow
 
+    # -- slot machinery ------------------------------------------------------
+    def _active(self) -> np.ndarray:
+        """Active slots in creation order (tombstones filtered)."""
+        if not self._act_dead:
+            return self._act[: self._act_n]
+        return np.asarray(self._act_list, dtype=np.int32)
+
+    def _compact(self) -> None:
+        """Drop tombstones from ``_act`` and promote quarantined slots.
+
+        Only after compaction may a freed slot be reused: until then a
+        stale ``_act`` entry still references it, and reusing it would
+        resurrect the entry as a duplicate of the new flow.
+        """
+        a = self._active()
+        n = len(a)
+        self._act[:n] = a
+        self._act_n = n
+        self._act_dead = 0
+        self._free.extend(self._freeq)
+        self._freeq.clear()
+
+    def _grow(self) -> None:
+        old = len(self._objs)
+        new = old * 2
+        for name in ("_f_cap", "_f_rem", "_f_rate"):
+            arr = np.zeros(new)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        for name in ("_f_pers", "_alive"):
+            arr = np.zeros(new, dtype=bool)
+            arr[:old] = getattr(self, name)
+            setattr(self, name, arr)
+        self._objs.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _attach(self, flow: Flow) -> None:
+        if not self._free:
+            self._compact()
+            if not self._free:
+                self._grow()
+        s = self._free.pop()
+        flow._slot = s
+        self._f_cap[s] = flow._cap_s
+        if flow._cap_s != math.inf:
+            self._capped += 1
+        if flow.work is None:
+            self._pers_n += 1
+        self._f_rem[s] = flow._rem_s
+        self._f_rate[s] = 0.0
+        self._f_pers[s] = flow.work is None
+        self._alive[s] = True
+        self._objs[s] = flow
+        if self._act_n == len(self._act):
+            if self._act_dead > len(self._act) // 2:
+                self._compact()
+            else:
+                act = np.zeros(len(self._act) * 2, dtype=np.int32)
+                act[: self._act_n] = self._act[: self._act_n]
+                self._act = act
+        self._act[self._act_n] = s
+        self._act_n += 1
+        self._act_list.append(s)
+
+    def _detach(self, flow: Flow) -> None:
+        """Array-side teardown: copy state to scalars, tombstone the slot."""
+        s = flow._slot
+        flow._cap_s = float(self._f_cap[s])
+        if flow._cap_s != math.inf:
+            self._capped -= 1
+        if flow.work is None:
+            self._pers_n -= 1
+        flow._rem_s = float(self._f_rem[s])
+        flow._rate_s = 0.0
+        flow._slot = -1
+        self._alive[s] = False
+        self._f_rate[s] = 0.0
+        self._objs[s] = None
+        self._freeq.append(s)
+        self._act_dead += 1
+        self._act_list.remove(s)
+
     # -- internals -----------------------------------------------------------
     def _settle(self) -> None:
-        """Advance every flow's progress from the last update to now."""
+        """Advance every flow's progress from the last update to now.
+
+        Vectorized over the whole slot range: tombstoned/free slots carry
+        rate 0.0, and ``x - 0.0 == x`` bitwise, so they are inert.  The
+        elementwise update computes the identical float sequence as the
+        old per-flow loop (``remaining -= rate*dt`` then clamp at zero).
+        Persistent flows must subtract exactly 0.0 — not ``rate*dt`` —
+        because their remaining stays inf and ``inf - inf`` is NaN.
+        """
         now = self.env.now
         dt = now - self._last_update
         if dt <= 0:
             return
-        used = 0.0
-        for f in self._flows:
-            rate = f.rate
-            if rate > 0 and f.work is not None:
-                f.remaining -= rate * dt
-                if f.remaining < 0:
-                    f.remaining = 0.0
-            used += rate
-        self._busy_integral += used * dt
+        rem = self._f_rem
+        drain = np.where(self._f_pers, 0.0, self._f_rate * dt)
+        np.subtract(rem, drain, out=rem)
+        np.maximum(rem, 0.0, out=rem)
+        self._busy_integral += self._used_now * dt
         self._last_update = now
 
     def _rebalance(self) -> None:
@@ -218,43 +442,171 @@ class FluidResource:
         # a flow finishing sooner than this must complete immediately or the
         # wakeup would be scheduled at `now + dt == now` and spin forever.
         min_dt = max(math.nextafter(now, math.inf) - now, 1e-12)
-        flows = self._flows
-        while True:
-            finished = [f for f in flows
-                        if f.work is not None and f.remaining <= _EPS]
-            for f in finished:
-                flows.remove(f)
-                f.rate = 0.0
-                f.remaining = 0.0
-                f.finished_at = now
-                f.done.succeed(f)
-            caps = [f.cap for f in flows]
-            rates = maxmin_allocate(self.capacity, caps)
+        if self._act_n - self._act_dead <= 1:
+            # 0 or 1 active flows — the dominant case for task CPUs and
+            # store cost meters, where the numpy temporaries of the
+            # general path cost more than the whole computation.  Pure
+            # scalar arithmetic, float-identical to the path below
+            # (single-flow maxmin is min(cap, capacity); the used-rate
+            # sum over one element is that element).
+            s = self._act_list[0] if self._act_list else -1
+            no_pers = self._pers_n == 0
             horizon = math.inf
-            for f, r in zip(flows, rates):
-                f.rate = r
-                if r > 0 and f.work is not None:
-                    h = f.remaining / r
-                    if h < horizon:
-                        horizon = h
-            if horizon >= min_dt or horizon is math.inf:
+            while True:
+                if s >= 0 and (no_pers or not self._f_pers[s]) \
+                        and self._f_rem[s] <= _EPS:
+                    flow = self._objs[s]
+                    self._detach(flow)
+                    flow._rem_s = 0.0
+                    flow.finished_at = now
+                    flow.done.succeed(flow)
+                    s = -1
+                if s < 0:
+                    self._used_now = 0.0
+                    horizon = math.inf
+                    break
+                cap = float(self._f_cap[s])
+                rate = cap if cap < self.capacity else self.capacity
+                self._f_rate[s] = rate
+                self._used_now = rate
+                horizon = math.inf
+                if rate > 0 and (no_pers or not self._f_pers[s]):
+                    horizon = float(self._f_rem[s]) / rate
+                    if horizon < min_dt:
+                        self._f_rem[s] = 0.0
+                        continue
                 break
-            # Sub-resolution completions: drain them at the current instant.
-            for f in flows:
-                if (f.work is not None and f.rate > 0
-                        and f.remaining / f.rate < min_dt):
-                    f.remaining = 0.0
-        self._wakeup_token += 1
-        token = self._wakeup_token
-        if horizon is not math.inf:
-            self.env.call_later(horizon, lambda: self._on_wakeup(token))
+            self._arm_wakeup(horizon)
+            return
+        if self._act_n - self._act_dead <= _SCALAR_MAX:
+            # Small populations (a store cost meter with a few concurrent
+            # ops): run the same algorithm on Python scalars.  Fancy
+            # indexing and the tolist() round-trip cost more than the
+            # whole allocation at this size.  Every arithmetic step
+            # mirrors the vector path below operation for operation, so
+            # the float sequence is identical.
+            f_rem, f_cap = self._f_rem, self._f_cap
+            f_pers, f_rate = self._f_pers, self._f_rate
+            slots = list(self._act_list)
+            no_pers = self._pers_n == 0
+            while True:
+                if no_pers:
+                    fin = [s for s in slots if f_rem[s] <= _EPS]
+                else:
+                    fin = [s for s in slots
+                           if not f_pers[s] and f_rem[s] <= _EPS]
+                if fin:
+                    for s in fin:  # creation order, like the vector scan
+                        flow = self._objs[s]
+                        self._detach(flow)
+                        flow._rem_s = 0.0
+                        flow.finished_at = now
+                        flow.done.succeed(flow)
+                    slots = [s for s in slots if s not in fin]
+                if self._capped == 0:
+                    rates, _, used = _equal_share(self.capacity, len(slots))
+                else:
+                    rates = maxmin_allocate(
+                        self.capacity, [float(f_cap[s]) for s in slots])
+                    used = 0.0
+                    for r in rates:
+                        used += r
+                for s, r in zip(slots, rates):
+                    f_rate[s] = r
+                self._used_now = used
+                horizon = math.inf
+                sub = []
+                for s, r in zip(slots, rates):
+                    if r > 0 and (no_pers or not f_pers[s]):
+                        h = float(f_rem[s]) / r
+                        if h < horizon:
+                            horizon = h
+                        if h < min_dt:
+                            sub.append(s)
+                if horizon < min_dt:
+                    # Sub-resolution completions drain at this instant.
+                    for s in sub:
+                        f_rem[s] = 0.0
+                    continue
+                break
+            self._arm_wakeup(horizon)
+            return
+        while True:
+            a = self._active()
+            npers = None
+            if len(a):
+                no_pers = self._pers_n == 0
+                fin = self._f_rem[a] <= _EPS
+                if not no_pers:
+                    npers = ~self._f_pers[a]
+                    fin &= npers
+                if fin.any():
+                    for s in a[fin]:  # creation order, like the old list scan
+                        flow = self._objs[s]
+                        self._detach(flow)
+                        flow._rem_s = 0.0
+                        flow.finished_at = now
+                        flow.done.succeed(flow)
+                    a = self._active()
+                    no_pers = self._pers_n == 0
+                    npers = (~self._f_pers[a]
+                             if len(a) and not no_pers else None)
+                elif no_pers:
+                    npers = None
+            # maxmin_allocate keeps its exact sequential arithmetic; the
+            # caps round-trip through tolist() is value-preserving, and
+            # assigning the Python floats back into the float64 arrays is
+            # exact, so rate_a below equals the stored rates bit for bit.
+            if self._capped == 0:
+                _rates, rate_a, used = _equal_share(self.capacity, len(a))
+            else:
+                rates = maxmin_allocate(self.capacity,
+                                        self._f_cap[a].tolist())
+                rate_a = np.asarray(rates)
+                used = 0.0
+                for r in rates:
+                    used += r
+            self._f_rate[a] = rate_a if len(a) else 0.0
+            self._used_now = used
+            horizon = math.inf
+            if len(a):
+                m = rate_a > 0
+                if npers is not None:
+                    m &= npers
+                if m.any():
+                    # When every active flow drains (the usual case) the
+                    # mask is all-true and the fancy-index copies can be
+                    # skipped; the arithmetic is identical either way.
+                    am = a if m.all() else a[m]
+                    h = (self._f_rem[am] / rate_a if am is a
+                         else self._f_rem[am] / rate_a[m])
+                    horizon = float(h.min())
+                    if horizon < min_dt:
+                        # Sub-resolution completions: drain them at the
+                        # current instant.
+                        self._f_rem[am[h < min_dt]] = 0.0
+                        continue
+            break
+        self._arm_wakeup(horizon)
 
-    def _on_wakeup(self, token: int) -> None:
-        if token != self._wakeup_token:
-            return  # superseded by a later rebalance
+    def _arm_wakeup(self, horizon: float) -> None:
+        """Schedule the next completion wakeup, superseding the last.
+
+        The previous pending wakeup (if any) is lazy-cancelled by
+        clearing its calendar slot — guarded by an identity check on the
+        stored function, because a fired slot returns to the shared pool
+        and may already carry someone else's callback.
+        """
+        cb = self._wakeup_cb
+        if cb is not None and cb.fn is self._wakeup_fn:
+            cb.fn = None
+        self._wakeup_cb = (self.env.call_later(horizon, self._wakeup_fn)
+                           if horizon != math.inf else None)
+
+    def _wakeup(self) -> None:
         self._settle()
         self._rebalance()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FluidResource {self.name!r} cap={self.capacity:.3g} "
-                f"flows={len(self._flows)}>")
+                f"flows={self._act_n - self._act_dead}>")

@@ -46,7 +46,8 @@ class TestProcessBackend:
         specs = [fig2_spec(a, **TINY, keep_series=True)
                  for a in (0.0, 0.5, 1.0)]
         serial = SweepRunner("serial").run(specs)
-        parallel = SweepRunner("process", jobs=2).run(specs)
+        parallel = SweepRunner("process", jobs=2,
+                               auto_fallback=False).run(specs)
         assert _payloads(serial) == _payloads(parallel)
         assert [r.spec for r in parallel] == specs
 
@@ -54,7 +55,7 @@ class TestProcessBackend:
         specs = [fig2_spec(0.5, **TINY),
                  ScenarioSpec.make("debug-crash")]
         with pytest.raises(ScenarioError, match="debug-crash"):
-            SweepRunner("process", jobs=2).run(specs)
+            SweepRunner("process", jobs=2, auto_fallback=False).run(specs)
         assert exec_stats.worker_crashes == 1
 
     def test_pickle_hostile_exception_keeps_its_cause(self):
@@ -66,7 +67,7 @@ class TestProcessBackend:
                                    tag=1)]
         with pytest.raises(ScenarioError,
                            match="13: debug-crash scenario failed") as err:
-            SweepRunner("process", jobs=2).run(specs)
+            SweepRunner("process", jobs=2, auto_fallback=False).run(specs)
         assert "pool broken" not in str(err.value)
 
     def test_scenario_error_pickles(self):
@@ -84,15 +85,68 @@ class TestProcessBackend:
         specs = [ScenarioSpec.make("debug-crash", hard=True),
                  ScenarioSpec.make("debug-crash", hard=True, tag=1)]
         with pytest.raises(ScenarioError, match="worker process died"):
-            SweepRunner("process", jobs=2).run(specs)
+            SweepRunner("process", jobs=2, auto_fallback=False).run(specs)
         assert exec_stats.worker_crashes == 1
 
     def test_single_pending_scenario_stays_in_process(self):
         # Degenerate fan-out of one: not worth a worker process.
-        results = SweepRunner("process", jobs=4).run([fig2_spec(0.5,
-                                                                **TINY)])
+        results = SweepRunner("process", jobs=4,
+                              auto_fallback=False).run(
+                                  [fig2_spec(0.5, **TINY)])
         assert results[0].payload["alpha"] == 0.5
         assert exec_stats.scenarios_run == 1
+
+
+class TestAutoFallback:
+    def test_single_cpu_falls_back_to_serial(self, monkeypatch, caplog):
+        monkeypatch.setattr("repro.exec.runner.os.cpu_count", lambda: 1)
+        specs = [fig2_spec(a, **TINY) for a in (0.0, 1.0)]
+        with caplog.at_level("INFO", logger="repro.exec.runner"):
+            results = SweepRunner("process", jobs=2).run(specs)
+        assert [r.payload["alpha"] for r in results] == [0.0, 1.0]
+        assert exec_stats.serial_fallbacks == 1
+        assert exec_stats.sweeps_serial == 1
+        assert exec_stats.sweeps_process == 0
+        notes = [r for r in caplog.records if "serial backend" in r.message]
+        assert len(notes) == 1
+
+    def test_fallback_matches_process_byte_for_byte(self, monkeypatch):
+        specs = [fig2_spec(a, **TINY, keep_series=True) for a in (0.0, 1.0)]
+        process = SweepRunner("process", jobs=2,
+                              auto_fallback=False).run(specs)
+        monkeypatch.setattr("repro.exec.runner.os.cpu_count", lambda: 1)
+        fallback = SweepRunner("process", jobs=2).run(specs)
+        assert _payloads(process) == _payloads(fallback)
+
+    def test_multi_cpu_keeps_the_process_backend(self, monkeypatch):
+        monkeypatch.setattr("repro.exec.runner.os.cpu_count", lambda: 4)
+        specs = [fig2_spec(a, **TINY) for a in (0.0, 1.0)]
+        results = SweepRunner("process", jobs=2).run(specs)
+        assert [r.payload["alpha"] for r in results] == [0.0, 1.0]
+        assert exec_stats.serial_fallbacks == 0
+        assert exec_stats.sweeps_process == 1
+
+    def test_oversubscribed_jobs_clamped_to_cpu_count(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 2)
+        seen = {}
+        real_pool = runner_mod.ProcessPoolExecutor
+
+        def spy_pool(max_workers, mp_context):
+            seen["max_workers"] = max_workers
+            return real_pool(max_workers=max_workers, mp_context=mp_context)
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", spy_pool)
+        specs = [fig2_spec(a, **TINY) for a in (0.0, 0.5, 1.0)]
+        SweepRunner("process", jobs=8).run(specs)
+        assert seen["max_workers"] == 2
+
+    def test_opt_out_keeps_real_workers(self, monkeypatch):
+        monkeypatch.setattr("repro.exec.runner.os.cpu_count", lambda: 1)
+        runner = SweepRunner("process", jobs=2, auto_fallback=False)
+        assert runner._effective_backend() == "process"
+        assert exec_stats.serial_fallbacks == 0
 
 
 class TestCacheIntegration:
@@ -116,7 +170,8 @@ class TestCacheIntegration:
     def test_process_backend_reads_and_feeds_the_cache(self, cache_dir):
         specs = [fig2_spec(a, **TINY) for a in (0.0, 0.5, 1.0)]
         cache = ResultCache(salt="v1")
-        cold = SweepRunner("process", jobs=2, cache=cache).run(specs)
+        cold = SweepRunner("process", jobs=2, cache=cache,
+                           auto_fallback=False).run(specs)
         warm = SweepRunner("serial", cache=cache).run(specs)
         assert all(r.cached for r in warm)
         assert _payloads(cold) == _payloads(warm)

@@ -28,7 +28,8 @@ def test_counters_snapshot_accumulates():
     assert counters["stalemates"] == 0
     assert set(counters) == {"solves", "full_solves", "rounds",
                              "flows_touched", "links_touched",
-                             "batch_coalesced", "stalemates"}
+                             "batch_coalesced", "auto_full",
+                             "auto_incremental", "stalemates"}
 
 
 def test_monitor_probes_sample_counters():
@@ -39,7 +40,8 @@ def test_monitor_probes_sample_counters():
     assert set(series) == {f"solver.{f}" for f in
                            ("solves", "full_solves", "rounds",
                             "flows_touched", "links_touched",
-                            "batch_coalesced", "stalemates")}
+                            "batch_coalesced", "auto_full",
+                            "auto_incremental", "stalemates")}
     mon.start()
     _busy_net(env)
     env.run(until=3.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the adaptive solver selector (:mod:`repro.sim.select`).
+
+The selector's contract is behavioral, not numeric: quiet graphs walk
+components, an obvious storm flips to the full fill immediately, and
+sustained churn trips the EWMA and then decays back.  The decision trace
+is the audit channel the perf suite stores, so its bookkeeping (bounds,
+summary, reset) is pinned here too.
+"""
+
+import pytest
+
+from repro.sim import (Environment, FlowNetwork, flownet_stats,
+                       reset_selection_log, selection_snapshot,
+                       selection_summary)
+from repro.sim.select import SolverSelector
+
+CAP = 100.0
+
+
+class TestDecide:
+    def setup_method(self):
+        reset_selection_log()
+
+    def test_quiet_graph_stays_incremental(self):
+        sel = SolverSelector()
+        for i in range(20):
+            assert sel.decide(4, 1000, 50, now=float(i)) == "incremental"
+
+    def test_spike_picks_full_immediately(self):
+        sel = SolverSelector()
+        assert sel.decide(600, 1000, 50, now=0.0) == "full"
+
+    def test_sub_spike_churn_trips_ewma_then_decays(self):
+        sel = SolverSelector()  # spike 0.5, ewma 0.4, alpha 0.25
+        decisions = [sel.decide(450, 1000, 50, now=float(i))
+                     for i in range(12)]
+        # 0.45 per flush never spikes, but the EWMA converges toward
+        # 0.45 and crosses the 0.4 threshold after a few flushes.
+        assert decisions[0] == "incremental"
+        assert "full" in decisions
+        # A quiet stretch decays the EWMA back below threshold.
+        last = [sel.decide(0, 1000, 50, now=100.0 + i) for i in range(20)]
+        assert last[-1] == "incremental"
+
+    def test_empty_graph_counts_as_all_dirty(self):
+        sel = SolverSelector()
+        assert sel.decide(0, 0, 0, now=0.0) == "full"
+
+    def test_trace_records_every_decision(self):
+        sel = SolverSelector()
+        sel.decide(600, 1000, 7, now=1.5)
+        sel.decide(1, 1000, 7, now=2.5)
+        trace = selection_snapshot()
+        assert [e["decision"] for e in trace] == ["full", "incremental"]
+        assert trace[0] == {"t": 1.5, "decision": "full",
+                            "dirty_links": 600, "total_links": 1000,
+                            "active_flows": 7, "ewma": trace[0]["ewma"]}
+        summary = selection_summary()
+        assert summary["decisions"] == 2
+        assert summary["full"] == 1
+        assert summary["incremental"] == 1
+        assert summary["dropped"] == 0
+
+    def test_trace_is_bounded_and_counts_overflow(self):
+        sel = SolverSelector()
+        for i in range(5000):
+            sel.decide(1, 1000, 1, now=float(i))
+        summary = selection_summary()
+        assert summary["decisions"] == 4096
+        assert summary["dropped"] == 904
+        reset_selection_log()
+        assert selection_summary() == {"decisions": 0, "dropped": 0,
+                                       "full": 0, "incremental": 0}
+
+
+class TestAutoNetwork:
+    """The selector wired into a live network (solver="auto")."""
+
+    def _net(self, n=6):
+        env = Environment()
+        net = FlowNetwork(env, solver="auto")
+        tx = [net.add_link(f"tx{i}", CAP) for i in range(n)]
+        rx = [net.add_link(f"rx{i}", CAP) for i in range(n)]
+        return env, net, tx, rx
+
+    def test_same_instant_transfers_coalesce_to_one_decision(self):
+        env, net, tx, rx = self._net(4)
+
+        def one(i):
+            yield env.timeout(1.0)
+            yield net.transfer([tx[i], rx[(i + 1) % 4]], 1e6,
+                               label=f"f{i}").done
+
+        for i in range(4):
+            env.process(one(i))
+        flownet_stats.reset()
+        reset_selection_log()
+        env.run(until=1.5)
+        # All four transfers landed at t=1.0: one guard flush, one
+        # selector decision — the coalescing the reference mode never
+        # does, whatever the graph size.
+        assert flownet_stats.solves == 1
+        assert selection_summary()["decisions"] == 1
+
+    def test_storm_burst_selects_full_fill(self):
+        env, net, tx, rx = self._net(6)
+        for i in range(6):
+            net.transfer([tx[i], rx[(i + 1) % 6]], None, label=f"p{i}")
+        flownet_stats.reset()
+        reset_selection_log()
+        with net.batch():
+            for link in tx + rx:
+                net.set_capacity(link, CAP / 2)
+        assert selection_summary() == {"decisions": 1, "dropped": 0,
+                                       "full": 1, "incremental": 0}
+        assert flownet_stats.auto_full == 1
+        # The degraded rates are live after the flush.
+        assert net.flows[0].rate == pytest.approx(CAP / 2)
+
+    def test_quiet_mutations_walk_components(self):
+        env, net, tx, rx = self._net(6)
+        flownet_stats.reset()
+        reset_selection_log()
+        flow = net.transfer([tx[0], rx[1]], 1e6, label="lone")
+        # Reads flush the pending coalesced solve.
+        assert flow.rate == pytest.approx(CAP)
+        summary = selection_summary()
+        assert summary["decisions"] == 1
+        assert summary["incremental"] == 1
+        assert flownet_stats.auto_incremental == 1

@@ -4,11 +4,11 @@ Three layers of evidence that the new solve path changes *nothing* about
 the simulated physics:
 
 - hypothesis-randomized flow/link graphs (caps, persistent flows, capacity
-  changes, batched adds/removes) where the network's rates must match a
+  changes, batched adds/removes) where the network's rates — under both
+  the ``"incremental"`` and adaptive ``"auto"`` modes — must match a
   standalone :func:`progressive_fill` run over clones within 1e-9;
-- exact (bitwise) agreement between the ``"incremental"`` and
-  ``"reference"`` solver modes on event-driven scenarios, including
-  fault-injector partitions;
+- trajectory agreement of every solver mode against ``"reference"`` on
+  event-driven scenarios, including fault-injector partitions;
 - a golden Fig. 2 run (committed fixture produced by the pre-PR solver)
   whose runtime and victim-NIC figures must stay bit-identical.
 """
@@ -57,11 +57,12 @@ _ops = st.tuples(
     st.floats(1.0, 1e6), st.floats(0.1, 200.0))
 
 
+@pytest.mark.parametrize("solver", ["incremental", "auto"])
 @settings(max_examples=60, deadline=None)
 @given(n_nodes=st.integers(2, 6), schedule=st.lists(_ops, max_size=24))
-def test_randomized_schedules_match_oracle(n_nodes, schedule):
+def test_randomized_schedules_match_oracle(solver, n_nodes, schedule):
     env = Environment()
-    net = FlowNetwork(env)
+    net = FlowNetwork(env, solver=solver)
     tx = [net.add_link(f"tx{i}", CAP) for i in range(n_nodes)]
     rx = [net.add_link(f"rx{i}", CAP) for i in range(n_nodes)]
     alive = []
@@ -94,7 +95,7 @@ def test_randomized_schedules_match_oracle(n_nodes, schedule):
 @given(n_nodes=st.integers(2, 5), schedule=st.lists(_ops, max_size=16),
        horizon=st.floats(0.1, 50.0))
 def test_modes_trace_equivalent(n_nodes, schedule, horizon):
-    """Incremental and reference modes produce the same trajectory.
+    """Every solver mode produces the same trajectory as the reference.
 
     Same completions in the same order, rates/times within 1e-9 — the
     reference mode's one global fill can split a round's delta across
@@ -104,7 +105,7 @@ def test_modes_trace_equivalent(n_nodes, schedule, horizon):
     bitwise and asserted exactly there.)
     """
     traces = []
-    for solver in ("incremental", "reference"):
+    for solver in ("reference", "incremental", "auto"):
         env = Environment()
         net = FlowNetwork(env, solver=solver)
         tx = [net.add_link(f"tx{i}", CAP) for i in range(n_nodes)]
@@ -146,18 +147,21 @@ def test_modes_trace_equivalent(n_nodes, schedule, horizon):
             sorted((f.label, f.rate, f.remaining) for f in net.flows),
             [(l.name, l.used_rate, net.busy_time(l)) for l in net.links],
         ))
-    inc, ref = traces
-    assert [lbl for _t, lbl in inc[0]] == [lbl for _t, lbl in ref[0]]
-    for (t_inc, _), (t_ref, _) in zip(inc[0], ref[0]):
-        assert t_inc == pytest.approx(t_ref, abs=1e-9)
-    assert [lbl for lbl, _r, _w in inc[1]] == [lbl for lbl, _r, _w in ref[1]]
-    for (_, r_inc, w_inc), (_, r_ref, w_ref) in zip(inc[1], ref[1]):
-        assert r_inc == pytest.approx(r_ref, abs=1e-9)
-        assert w_inc == pytest.approx(w_ref, abs=1e-6)
-    for (n_inc, u_inc, b_inc), (n_ref, u_ref, b_ref) in zip(inc[2], ref[2]):
-        assert n_inc == n_ref
-        assert u_inc == pytest.approx(u_ref, abs=1e-9)
-        assert b_inc == pytest.approx(b_ref, abs=1e-6)
+    ref = traces[0]
+    for got in traces[1:]:
+        assert [lbl for _t, lbl in got[0]] == [lbl for _t, lbl in ref[0]]
+        for (t_got, _), (t_ref, _) in zip(got[0], ref[0]):
+            assert t_got == pytest.approx(t_ref, abs=1e-9)
+        assert ([lbl for lbl, _r, _w in got[1]]
+                == [lbl for lbl, _r, _w in ref[1]])
+        for (_, r_got, w_got), (_, r_ref, w_ref) in zip(got[1], ref[1]):
+            assert r_got == pytest.approx(r_ref, abs=1e-9)
+            assert w_got == pytest.approx(w_ref, abs=1e-6)
+        for (n_got, u_got, b_got), (n_ref, u_ref, b_ref) in zip(got[2],
+                                                                ref[2]):
+            assert n_got == n_ref
+            assert u_got == pytest.approx(u_ref, abs=1e-9)
+            assert b_got == pytest.approx(b_ref, abs=1e-6)
 
 
 def test_set_capacity_partition_factor():
