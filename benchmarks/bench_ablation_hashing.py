@@ -20,7 +20,7 @@ import statistics
 import numpy as np
 import pytest
 
-from repro.fs import ClassSpec, PlacementPolicy
+from repro.fs import ClassSpec, PlacementMap
 from repro.hashing import (ConsistentHashRing, HrwHasher, own_victim_weights,
                            stable_digest)
 from repro.metrics import render_table
@@ -33,7 +33,7 @@ ALPHA = 0.25
 
 def build_two_layer():
     w = own_victim_weights(ALPHA)
-    return PlacementPolicy({
+    return PlacementMap({
         "own": ClassSpec(w["own"], tuple(OWN)),
         "victim": ClassSpec(w["victim"], tuple(VICTIMS)),
     })

@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from repro.fs import ClassSpec, PlacementPolicy, stripe_digest_array
+from repro.fs import ClassSpec, PlacementMap, stripe_digest_array
 from repro.fs.placement import clear_placement_caches
 from repro.fs.striping import stripe_key
 from repro.hashing import own_victim_weights
@@ -41,9 +41,9 @@ OWN = tuple(f"own{i}" for i in range(8))
 VICTIMS = tuple(f"vic{i}" for i in range(32))
 
 
-def build_policy() -> PlacementPolicy:
+def build_policy() -> PlacementMap:
     w = own_victim_weights(ALPHA)
-    return PlacementPolicy({
+    return PlacementMap({
         "own": ClassSpec(w["own"], OWN),
         "victim": ClassSpec(w["victim"], VICTIMS),
     })

@@ -10,7 +10,7 @@ parity code.
 import pytest
 
 from repro.core import DeploymentConfig, MemFSSDeployment
-from repro.fs import PlacementPolicy, storage_overhead, stripe_key
+from repro.fs import PlacementMap, storage_overhead, stripe_key
 from repro.metrics import render_table
 from repro.units import MB
 from repro.workflows import dd_bag
@@ -83,7 +83,7 @@ def test_ablation_redundancy_loss_tolerance(benchmark):
                 yield from fs.write_file(dep.own[0], "/f",
                                          nbytes=32 * MB)
                 meta = yield from fs.stat(dep.own[0], "/f")
-                policy = PlacementPolicy.from_meta(meta)
+                policy = PlacementMap.from_meta(meta)
                 key = stripe_key(meta.inode, 0)
                 fs.servers[policy.place(key)].kv.delete(key)
                 size, _ = yield from fs.read_file(dep.own[0], "/f")

@@ -1,0 +1,164 @@
+"""Fig. 2-style market sweep: controller-chosen α vs the static 25 % row.
+
+Per seed the three ``market-fig2`` modes share one churn schedule and one
+workload (see :mod:`repro.market.scenario`):
+
+* **calm** — no churn, no controller: the per-task baseline durations,
+* **static** — churn under the paper's fixed α = 25 % (the controller
+  grants reposted leases but never retunes),
+* **controller** — the same churn with live α retuning against the
+  risk-discounted supply.
+
+The headline number is the **mean slowdown** (per-task duration over the
+same seed's calm run, averaged over tasks then seeds): the controller
+must beat the static row.  Three structural guards ride along:
+
+* zero lost files in every run (the read-back audit inside the scenario),
+* migration volume equals the stripe-plan diff — ``bytes_migrated`` is
+  exactly ``stripes_migrated × stripe_size``, never a full reshuffle,
+* an idle market (no churn events) leaves the controller's per-task
+  durations byte-identical to the calm run: every epoch short-circuits.
+
+Results land in ``results/market-alpha.json`` (per-seed slowdowns, α
+traces, market counters) and, for full runs, ``BENCH_market.json`` at
+the repo root — the market trajectory later PRs regress against.
+``MARKET_SMOKE=1`` shrinks the sweep for CI and writes
+``results/market-alpha-smoke.json`` instead (guards only; the
+controller-vs-static assertion needs the full scale).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.market import market_mode_specs, market_spec, run_market
+from repro.metrics import render_table
+from repro.units import MB
+
+SMOKE = os.environ.get("MARKET_SMOKE") == "1"
+ROOT = Path(__file__).resolve().parent.parent
+SEEDS = range(4) if SMOKE else range(8)
+STRIPE_SIZE = 32 * MB          # the scenario's deployment stripe size
+SCALE = dict(n_tasks=96, file_size=32 * MB) if SMOKE else {}
+
+
+def _mean_slowdown(run: dict, calm: dict) -> float:
+    ratios = [run["task_s"][t] / calm["task_s"][t]
+              for t in calm["task_s"]]
+    return sum(ratios) / len(ratios)
+
+
+def _seed_point(seed: int) -> dict:
+    runs = {}
+    for spec in market_mode_specs(seed, **SCALE):
+        out = run_market(spec)
+        runs[out["mode"]] = out
+    calm = runs["calm"]
+    point = {"seed": seed}
+    for mode in ("static", "controller"):
+        run = runs[mode]
+        assert run["lost_files"] == [], \
+            f"seed {seed} {mode}: lost {run['lost_files']}"
+        market = run["market"]
+        # Plan-diff accounting: every migrated byte belongs to a whole
+        # migrated stripe — a full reshuffle would blow this identity.
+        assert market["bytes_migrated"] == \
+            market["stripes_migrated"] * STRIPE_SIZE
+        point[mode] = {
+            "mean_slowdown": _mean_slowdown(run, calm),
+            "makespan_s": run["makespan_s"],
+            "final_alpha": run["final_alpha"],
+            "alpha_trace": run["alpha_trace"],
+            "market": market,
+        }
+    point["calm_makespan_s"] = calm["makespan_s"]
+    return point
+
+
+def _idle_guard() -> dict:
+    """No churn → the controller must be invisible, task for task."""
+    seed = 1
+    calm = run_market(market_spec(seed, "calm", n_events=0, **SCALE))
+    idle = run_market(market_spec(seed, "controller", n_events=0, **SCALE))
+    market = idle["market"]
+    return {
+        "task_s_identical": idle["task_s"] == calm["task_s"],
+        "epochs": market["epochs"],
+        "idle_epochs": market["idle_epochs"],
+        "bytes_migrated": market["bytes_migrated"],
+        "final_alpha": idle["final_alpha"],
+    }
+
+
+def run_bench() -> dict:
+    t0 = time.time()
+    points = [_seed_point(seed) for seed in SEEDS]
+    idle = _idle_guard()
+    static_mean = sum(p["static"]["mean_slowdown"]
+                      for p in points) / len(points)
+    ctl_mean = sum(p["controller"]["mean_slowdown"]
+                   for p in points) / len(points)
+    wins = sum(p["controller"]["mean_slowdown"]
+               < p["static"]["mean_slowdown"] for p in points)
+    data = {
+        "smoke": SMOKE,
+        "seeds": list(SEEDS),
+        "static_mean_slowdown": static_mean,
+        "controller_mean_slowdown": ctl_mean,
+        "controller_wins": wins,
+        "idle_guard": idle,
+        "points": points,
+        "wall_seconds": time.time() - t0,
+    }
+    out = ROOT / "results"
+    out.mkdir(exist_ok=True)
+    name = "market-alpha-smoke.json" if SMOKE else "market-alpha.json"
+    (out / name).write_text(json.dumps(data, indent=2, sort_keys=True))
+    if not SMOKE:
+        (ROOT / "BENCH_market.json").write_text(json.dumps({
+            "seeds": len(points),
+            "static_mean_slowdown": static_mean,
+            "controller_mean_slowdown": ctl_mean,
+            "controller_wins": wins,
+            "idle_identical": idle["task_s_identical"],
+            "wall_seconds": data["wall_seconds"],
+        }, indent=2, sort_keys=True))
+    return data
+
+
+def test_market_alpha_sweep(benchmark):
+    data = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    rows = [[str(p["seed"]),
+             f"{p['static']['mean_slowdown']:.4f}",
+             f"{p['controller']['mean_slowdown']:.4f}",
+             f"{p['controller']['final_alpha']:.3f}"]
+            for p in data["points"]]
+    rows.append(["mean", f"{data['static_mean_slowdown']:.4f}",
+                 f"{data['controller_mean_slowdown']:.4f}", ""])
+    print(render_table(
+        ("seed", "static a=25%", "controller", "final a"), rows,
+        title="market-fig2 mean slowdown vs calm"))
+
+    idle = data["idle_guard"]
+    assert idle["task_s_identical"], \
+        "an idle market perturbed per-task durations"
+    assert idle["epochs"] == idle["idle_epochs"] > 0
+    assert idle["bytes_migrated"] == 0
+    if not SMOKE:
+        # The headline: live retuning beats the paper's best static row.
+        assert data["controller_mean_slowdown"] \
+            < data["static_mean_slowdown"]
+
+
+if __name__ == "__main__":
+    out = run_bench()
+    print(f"controller {out['controller_mean_slowdown']:.4f} vs "
+          f"static {out['static_mean_slowdown']:.4f} mean slowdown "
+          f"({out['controller_wins']}/{len(out['points'])} seeds won); "
+          f"idle identical={out['idle_guard']['task_s_identical']} "
+          f"[{out['wall_seconds']:.0f}s]")

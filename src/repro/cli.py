@@ -111,7 +111,8 @@ def cmd_fig2(args) -> int:
 
 
 def _slowdown(args, suite: str, suite_scale: float, title: str) -> int:
-    config = DeploymentConfig(alpha=args.alpha, solver=_solver_from(args))
+    config = DeploymentConfig(
+        solver=_solver_from(args)).with_alpha(args.alpha)
     builder, kwargs = WORKLOADS[args.workload]
     sweep = slowdown_sweep(config, suite, suite_scale,
                            workloads=(builder,), workload_kwargs=kwargs,
@@ -175,6 +176,44 @@ def cmd_table2(args) -> int:
     return 0
 
 
+def cmd_market(args) -> int:
+    # Lazy: the market layer sits above the core deployment modules.
+    from .market import market_mode_specs, run_market
+    rows = []
+    lost = 0
+    for seed in range(args.first_seed, args.first_seed + args.seeds):
+        runs = {}
+        for spec in market_mode_specs(
+                seed, n_tasks=args.tasks, n_events=args.events,
+                epoch=args.epoch, alpha=args.static_alpha):
+            out = run_market(spec)
+            runs[out["mode"]] = out
+        calm = runs["calm"]
+
+        def mean_slowdown(mode):
+            ratios = [runs[mode]["task_s"][t] / calm["task_s"][t]
+                      for t in calm["task_s"]]
+            return sum(ratios) / len(ratios)
+
+        ctl = runs["controller"]
+        lost += sum(len(runs[m]["lost_files"]) for m in runs)
+        rows.append([str(seed),
+                     f"{mean_slowdown('static'):.4f}",
+                     f"{mean_slowdown('controller'):.4f}",
+                     f"{ctl['final_alpha']:.3f}",
+                     str(ctl["market"]["retunes"]),
+                     f"{ctl['market']['bytes_migrated'] / MB:.0f} MB"])
+    print(render_table(
+        ["seed", f"static a={args.static_alpha:.0%}", "controller",
+         "final a", "retunes", "migrated"],
+        rows, title=f"market: mean slowdown vs calm ({args.tasks} dd "
+                    f"tasks, {args.events} churn events)"))
+    if lost:
+        print(f"DATA LOSS: {lost} files failed the read-back audit")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="memfss", description="MemFSS paper-reproduction experiments")
@@ -216,10 +255,28 @@ def main(argv: list[str] | None = None) -> int:
                         parents=[common])
     pt.add_argument("--scale", type=int, default=8,
                     help="data down-scale factor (default 8)")
+    pm = sub.add_parser(
+        "market", help="lease-market sweep: controller vs static alpha")
+    pm.add_argument("--seeds", type=int, default=3, metavar="N",
+                    help="churn-schedule seeds to compare (default 3); "
+                         "each seed runs calm/static/controller modes")
+    pm.add_argument("--first-seed", type=int, default=0)
+    pm.add_argument("--tasks", type=int, default=256,
+                    help="dd bag size (default 256 x 64 MB)")
+    pm.add_argument("--events", type=int, default=5,
+                    help="lease reclaim/repost events per run (default 5)")
+    pm.add_argument("--epoch", type=float, default=2.0,
+                    help="market clearing period in seconds (default 2.0)")
+    pm.add_argument("--static-alpha", type=float, default=0.25,
+                    help="the fixed alpha of the static row (default "
+                         "0.25, the paper's best)")
+    pm.add_argument("--profile", action="store_true",
+                    help=argparse.SUPPRESS)
 
     args = parser.parse_args(argv)
     handlers = {"table1": cmd_table1, "fig2": cmd_fig2, "fig3": cmd_fig3,
-                "fig4": cmd_fig4, "fig5": cmd_fig5, "table2": cmd_table2}
+                "fig4": cmd_fig4, "fig5": cmd_fig5, "table2": cmd_table2,
+                "market": cmd_market}
     handler = handlers[args.command]
     if getattr(args, "profile", False):
         return _profiled(handler, args)

@@ -25,7 +25,7 @@ class MemoryPressureMonitor:
 
     def __init__(self, env: Environment, node: Node,
                  system: ReservationSystem, threshold: float,
-                 interval: float = 1.0):
+                 interval: float = 1.0, honor_notice: bool = False):
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if interval <= 0:
@@ -35,6 +35,9 @@ class MemoryPressureMonitor:
         self.system = system
         self.threshold = float(threshold)
         self.interval = float(interval)
+        # Market mode: leases carrying a notice term get the announced
+        # drain window on pressure instead of the legacy surprise reclaim.
+        self.honor_notice = honor_notice
         self.revocations = 0
         self._stopped = False
         self._process = env.process(self._run(), name=f"monitord@{node.name}")
@@ -45,6 +48,8 @@ class MemoryPressureMonitor:
     def _run(self):
         while not self._stopped:
             if self.node.memory_free < self.threshold:
-                hit = self.system.revoke_leases(self.node, cause="pressure")
+                hit = self.system.revoke_leases(
+                    self.node, cause="pressure",
+                    honor_notice=self.honor_notice)
                 self.revocations += hit
             yield self.env.timeout(self.interval)

@@ -67,16 +67,31 @@ class Reservation:
 
 
 class ScavengeOffer:
-    """One node registered on the secondary queue."""
+    """One node registered on the secondary queue.
+
+    Market terms (both optional, defaulting to the paper's open-ended
+    offers): *duration* bounds how long a lease on this offer may run,
+    and *notice* is the revocation-notice period — the seconds of warning
+    a holder receives before the memory is actually reclaimed, which lets
+    the scavenger drain the node instead of treating the reclaim as a
+    surprise crash.
+    """
 
     def __init__(self, node: Node, max_memory: float, voluntary: bool,
-                 owner: str):
+                 owner: str, duration: float | None = None,
+                 notice: float = 0.0):
         if max_memory <= 0:
             raise ValueError("max_memory must be positive")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
+        if notice < 0:
+            raise ValueError("notice must be >= 0")
         self.node = node
         self.max_memory = float(max_memory)
         self.voluntary = voluntary
         self.owner = owner
+        self.duration = None if duration is None else float(duration)
+        self.notice = float(notice)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "voluntary" if self.voluntary else "enforced"
@@ -87,7 +102,12 @@ class ScavengeLease:
     """MemFSS's active claim on a scavenge offer.
 
     ``revoked`` triggers when the node must be vacated (tenant memory
-    pressure, or the offer being withdrawn).
+    pressure, or the offer being withdrawn).  Leases inherit their
+    offer's market terms: ``expires_at`` (granted time + offer duration,
+    ``None`` for open-ended leases) and ``notice`` — when a revocation
+    arrives *with notice*, the ``notified`` event fires first and the
+    actual ``revoked`` follows ``notice`` seconds later, giving the
+    scavenger a drain window instead of a surprise crash.
     """
 
     def __init__(self, env: Environment, offer: ScavengeOffer,
@@ -97,7 +117,12 @@ class ScavengeLease:
         self.memory = float(memory)
         self.holder = holder
         self.revoked: Event = env.event()
+        self.notified: Event = env.event()
         self.granted_at = env.now
+        self.notice = offer.notice
+        self.expires_at = (None if offer.duration is None
+                           else env.now + offer.duration)
+        self._notice_deadline: float | None = None
 
     @property
     def node(self) -> Node:
@@ -107,9 +132,41 @@ class ScavengeLease:
     def active(self) -> bool:
         return not self.revoked.triggered
 
+    @property
+    def noticed(self) -> bool:
+        """A revocation notice is pending (drain window running)."""
+        return self.notified.triggered and self.active
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until expiry (``None`` for open-ended leases)."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - (self.env.now if now is None else now)
+
     def revoke(self, cause: Any = "revoked") -> None:
+        """Immediate revocation (the legacy surprise path)."""
         if not self.revoked.triggered:
             self.revoked.succeed(cause)
+
+    def revoke_with_notice(self, cause: Any = "revoked",
+                           notice: float | None = None) -> float:
+        """Announce revocation now; actually revoke after the notice
+        period (the lease's own term unless *notice* overrides it).
+        Returns the revocation deadline.  Zero notice degenerates to an
+        immediate :meth:`revoke`; repeated notices keep the earliest
+        deadline."""
+        if self._notice_deadline is not None:
+            return self._notice_deadline
+        period = self.notice if notice is None else float(notice)
+        deadline = self.env.now + period
+        if not self.revoked.triggered:
+            self._notice_deadline = deadline
+            self.notified.succeed((cause, deadline))
+            if period <= 0:
+                self.revoke(cause)
+            else:
+                self.env.call_later(period, lambda: self.revoke(cause))
+        return deadline
 
 
 class ReservationSystem:
@@ -126,6 +183,7 @@ class ReservationSystem:
         self._leases: list[ScavengeLease] = []
         self._ids = itertools.count(1)
         self.enforced_cap: float | None = None
+        self.enforced_notice: float = 0.0
 
     # -- primary queue -----------------------------------------------------------
     @property
@@ -150,7 +208,8 @@ class ReservationSystem:
         if self.enforced_cap is not None:
             for node in granted:
                 self._offers[node.name] = ScavengeOffer(
-                    node, self.enforced_cap, voluntary=False, owner=user)
+                    node, self.enforced_cap, voluntary=False, owner=user,
+                    notice=self.enforced_notice)
         return res
 
     def release(self, reservation: Reservation) -> None:
@@ -165,23 +224,32 @@ class ReservationSystem:
 
     # -- secondary (scavenging) queue ---------------------------------------------
     def register_offer(self, node: Node, max_memory: float,
-                       owner: str = "", voluntary: bool = True) -> ScavengeOffer:
-        """Voluntary registration of a reserved node (§III-A mechanism 1)."""
-        offer = ScavengeOffer(node, max_memory, voluntary, owner)
+                       owner: str = "", voluntary: bool = True,
+                       duration: float | None = None,
+                       notice: float = 0.0) -> ScavengeOffer:
+        """Voluntary registration of a reserved node (§III-A mechanism 1),
+        optionally with market terms (lease *duration* and revocation
+        *notice* period — see :class:`ScavengeOffer`)."""
+        offer = ScavengeOffer(node, max_memory, voluntary, owner,
+                              duration=duration, notice=notice)
         self._offers[node.name] = offer
         return offer
 
-    def enforce_scavenging(self, cap: float) -> None:
+    def enforce_scavenging(self, cap: float, notice: float = 0.0) -> None:
         """Admin policy (§III-A mechanism 2): every node of every current and
-        future reservation is registered with *cap* bytes."""
+        future reservation is registered with *cap* bytes.  A site-wide
+        revocation *notice* term turns enforced reclaims into announced
+        drains (paper default: none — surprise reclaim)."""
         if cap <= 0:
             raise ValueError("cap must be positive")
         self.enforced_cap = float(cap)
+        self.enforced_notice = float(notice)
         for res in self._reservations.values():
             for node in res.nodes:
                 self._offers.setdefault(
                     node.name,
-                    ScavengeOffer(node, cap, voluntary=False, owner=res.user))
+                    ScavengeOffer(node, cap, voluntary=False, owner=res.user,
+                                  notice=notice))
 
     def offers(self) -> tuple[ScavengeOffer, ...]:
         return tuple(self._offers.values())
@@ -203,15 +271,33 @@ class ReservationSystem:
                 f"on {node.name}")
         lease = ScavengeLease(self.env, offer, memory, holder)
         self._leases.append(lease)
+        if offer.duration is not None:
+            # Termed offers self-expire: the notice fires ahead of the
+            # deadline so holders drain instead of crashing out.
+            delay = max(0.0, offer.duration - offer.notice)
+            self.env.call_later(
+                delay, lambda: lease.revoke_with_notice("expired"))
         return lease
 
     def active_leases(self) -> tuple[ScavengeLease, ...]:
         return tuple(l for l in self._leases if l.active)
 
-    def revoke_leases(self, node: Node, cause: Any = "pressure") -> int:
-        """Revoke every active lease on *node* (monitord hook)."""
+    def revoke_leases(self, node: Node, cause: Any = "pressure",
+                      honor_notice: bool = False) -> int:
+        """Revoke every active lease on *node* (monitord hook).
+
+        With *honor_notice* a lease carrying a notice term gets the
+        announced drain window (:meth:`ScavengeLease.revoke_with_notice`)
+        instead of the legacy immediate reclaim; leases already inside
+        their window are left to run it out.
+        """
         hit = 0
         for lease in [l for l in self._leases if l.node is node and l.active]:
+            if honor_notice and lease.notice > 0:
+                if not lease.notified.triggered:
+                    lease.revoke_with_notice(cause)
+                    hit += 1
+                continue
             lease.revoke(cause)
             self._leases.remove(lease)
             hit += 1

@@ -4,6 +4,7 @@ from .admission import AdmissionReport, predict_admission, predicted_files
 from .degraded import (DEGRADABLE_ERRORS, DegradedReason, DegradedResult,
                        classify_failure)
 from .deployment import DeploymentConfig, MemFSSDeployment
+from .policy import ClassTarget, PlacementPolicy
 from .experiment import (FIG2_ALPHAS, BaselineMetrics, baseline_run,
                          baseline_sweep)
 from .slowdown import (BackgroundWorkload, SlowdownResult, average_slowdown,
@@ -16,6 +17,7 @@ __all__ = [
     "DegradedReason", "DegradedResult", "DEGRADABLE_ERRORS",
     "classify_failure",
     "DeploymentConfig", "MemFSSDeployment",
+    "ClassTarget", "PlacementPolicy",
     "BaselineMetrics", "baseline_run", "baseline_sweep", "FIG2_ALPHAS",
     "SlowdownResult", "measure_slowdowns", "average_slowdown",
     "BackgroundWorkload",

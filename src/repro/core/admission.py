@@ -9,7 +9,7 @@ rejected could in fact complete thanks to chain spill.
 
 :func:`predict_admission` instead *bin-packs the actual stripe plan*:
 it replays the workflow's predicted file sequence through the file
-system's own batch planner (:meth:`~repro.fs.placement.PlacementPolicy
+system's own batch planner (:meth:`~repro.fs.placement.PlacementMap
 .plan_file`), charges every stripe (and parity block and replica) to its
 planned store, and models the write path's capacity spill down the HRW
 chain when a store's budget runs out.  ``fits`` therefore means: *under
@@ -23,6 +23,15 @@ in task order), and runtime metadata (directory sets, the file registry)
 is modeled as a flat per-file allowance — plus transient double-residency
 during evacuations.  The default is
 :data:`~repro.core.consumption.IMBALANCE_HEADROOM`.
+
+Under the lease marketplace a store's bytes are only as good as its
+lease: pass the scavenger's ``leases`` map (and the current time) and
+each leased store's budget is scaled by its revocation-risk discount
+(:func:`repro.market.risk.lease_discount`) — a lease nearing expiry, or
+one whose notice period is too short to drain, contributes a fraction of
+its nominal capacity, and a store already serving its notice contributes
+none.  Legacy open-ended leases price at full value, so pre-market
+deployments see byte-identical admission decisions.
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ class AdmissionReport:
     worst_store: str = ""
     worst_fill: float = 0.0      # predicted fill fraction of that store
     headroom: float = 0.0
+    risk_discounted: int = 0     # stores priced below their full capacity
 
 
 def predicted_files(workflow: Workflow) -> list[tuple[str, float]]:
@@ -88,29 +98,53 @@ def _stripe_lengths(size: float, fs: MemFSS) -> list[float]:
 
 
 def predict_admission(workflow: Workflow, fs: MemFSS,
-                      headroom: float | None = None) -> AdmissionReport:
+                      headroom: float | None = None, *,
+                      leases=None, now: float = 0.0,
+                      risk_horizon: float | None = None,
+                      short_notice: float | None = None) -> AdmissionReport:
     """Bin-pack the workflow's stripe plans against per-store budgets.
 
     Assumes a no-GC run (everything written stays resident — the
     conservative Table II regime).  Pure Python over the planner: no
     simulation state is touched and the file system's inode counter is
     not consumed.
+
+    *leases* (the scavenger's ``{node_name: ScavengeLease}`` map) turns
+    on revocation-risk pricing: each leased store's usable capacity is
+    scaled by its risk discount at time *now* before budgets are drawn.
+    Left ``None`` (the default) every store is priced at full value and
+    the prediction is unchanged from the pre-market behavior.
     """
     if headroom is None:
         from .consumption import IMBALANCE_HEADROOM
         headroom = IMBALANCE_HEADROOM
     if not 0.0 <= headroom < 1.0:
         raise ValueError("headroom must be in [0, 1)")
+    discounts: dict[str, float] = {}
+    if leases:
+        # Lazy: repro.market sits above core in the layering.
+        from ..market.risk import (DEFAULT_RISK_HORIZON,
+                                   DEFAULT_SHORT_NOTICE, node_discounts)
+        discounts = node_discounts(
+            leases, now,
+            horizon=(risk_horizon if risk_horizon is not None
+                     else DEFAULT_RISK_HORIZON),
+            short_notice=(short_notice if short_notice is not None
+                          else DEFAULT_SHORT_NOTICE))
     pressure_stats.admission_checks += 1
     policy = fs.policy
     servers = fs.servers
     budgets: dict[str, float] = {}
     overhead: dict[str, float] = {}
+    risk_discounted = 0
     for name in policy.all_nodes:
         server = servers.get(name)
         if server is None:
             continue
-        budgets[name] = (server.kv.capacity * (1.0 - headroom)
+        discount = discounts.get(name, 1.0)
+        if discount < 1.0:
+            risk_discounted += 1
+        budgets[name] = (server.kv.capacity * discount * (1.0 - headroom)
                          - server.kv.used_bytes)
         overhead[name] = server.kv.key_overhead
 
@@ -161,7 +195,8 @@ def predict_admission(workflow: Workflow, fs: MemFSS,
     worst_store, worst_fill = "", 0.0
     for name, budget in budgets.items():
         capacity = servers[name].kv.capacity
-        fill = (capacity * (1.0 - headroom) - budget) / capacity
+        usable = capacity * discounts.get(name, 1.0) * (1.0 - headroom)
+        fill = (usable - budget) / capacity
         if fill > worst_fill:
             worst_store, worst_fill = name, fill
     fits = unplaced == 0
@@ -173,4 +208,5 @@ def predict_admission(workflow: Workflow, fs: MemFSS,
     return AdmissionReport(
         fits=fits, detail=detail, n_files=len(files), n_stripes=n_stripes,
         spilled_stripes=spilled, unplaced_stripes=unplaced,
-        worst_store=worst_store, worst_fill=worst_fill, headroom=headroom)
+        worst_store=worst_store, worst_fill=worst_fill, headroom=headroom,
+        risk_discounted=risk_discounted)

@@ -133,10 +133,10 @@ def run_scavenging(workflow: Workflow, n_own: int, n_victim: int,
     if alpha is None:
         alpha = own_cap / (own_cap + victim_cap)
     config = DeploymentConfig(
-        n_own=n_own, n_victim=n_victim, alpha=alpha,
+        n_own=n_own, n_victim=n_victim,
         victim_memory=victim_memory,
         own_store_capacity=own_store_capacity,
-        stripe_size=stripe_size, seed=seed)
+        stripe_size=stripe_size, seed=seed).with_alpha(alpha)
     deployment = MemFSSDeployment(config)
     report = predict_admission(workflow, deployment.fs)
     if not report.fits:

@@ -10,19 +10,25 @@ placement realizing the requested own-data fraction α.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, replace
 
 from ..cluster import (Cluster, Container, ResourceCaps, build_das5)
-from ..fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
-from ..hashing import own_victim_weights
+from ..fs import MemFSS, ScavengingManager
 from ..sim import Environment
 from ..sim.rng import RngRegistry
 from ..store import AuthPolicy, RetryPolicy, StoreCostModel, StoreServer
 from ..tenants import InterferenceProbe
 from ..units import GB, MB
 from ..workflows import WorkflowEngine
+from .policy import PlacementPolicy
 
 __all__ = ["DeploymentConfig", "MemFSSDeployment"]
+
+#: Legacy placement knobs and their defaults: still accepted for one
+#: release, resolved into a PlacementPolicy by DeploymentConfig.placement().
+_LEGACY_PLACEMENT_DEFAULTS = {"alpha": 0.25, "capacity_guard": True,
+                              "replication": 1, "erasure": None}
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,11 @@ class DeploymentConfig:
     # Kept as a separate knob so figure recipes stay written in paper
     # units and the sweep cache keys change only through scaled().
     scale: int = 1
+    # The unified placement policy.  When set it is authoritative for
+    # classes / fractions / hash family / capacity guard / redundancy,
+    # and the legacy knobs above (alpha, capacity_guard, replication,
+    # erasure) must be left at their defaults or agree with it.
+    policy: PlacementPolicy | None = None
 
     def __post_init__(self):
         if self.n_own < 1:
@@ -70,6 +81,25 @@ class DeploymentConfig:
             raise ValueError("alpha must be in [0, 1]")
         if self.scale < 1:
             raise ValueError("scale must be >= 1")
+        if self.policy is not None:
+            self._check_policy_consistency()
+
+    def _check_policy_consistency(self) -> None:
+        """A legacy knob moved off its default AND off the policy's value
+        is a stale-knob bug (the policy would silently win); refuse it."""
+        pol = self.policy
+        pol_values = {"alpha": pol.alpha if pol.alpha is not None
+                      else _LEGACY_PLACEMENT_DEFAULTS["alpha"],
+                      "capacity_guard": pol.capacity_guard,
+                      "replication": pol.replication,
+                      "erasure": pol.erasure}
+        for knob, default in _LEGACY_PLACEMENT_DEFAULTS.items():
+            value = getattr(self, knob)
+            if value != default and value != pol_values[knob]:
+                raise ValueError(
+                    f"DeploymentConfig.{knob}={value!r} conflicts with "
+                    f"policy ({pol_values[knob]!r}); set placement knobs "
+                    f"on the PlacementPolicy only")
 
     def scaled(self) -> "DeploymentConfig":
         """Resolve the scale multiplier into explicit node counts."""
@@ -77,6 +107,44 @@ class DeploymentConfig:
             return self
         return replace(self, n_own=self.n_own * self.scale,
                        n_victim=self.n_victim * self.scale, scale=1)
+
+    # -- placement resolution ----------------------------------------------------
+    def _legacy_policy(self) -> PlacementPolicy:
+        """The policy equivalent to the legacy knobs (closed-form weights
+        — byte-identical to the pre-policy ``own_victim_weights`` path)."""
+        return PlacementPolicy.own_victim(
+            self.alpha, capacity_guard=self.capacity_guard,
+            replication=self.replication, erasure=self.erasure)
+
+    def placement(self) -> PlacementPolicy:
+        """The effective :class:`PlacementPolicy` of this deployment.
+
+        Configs without an explicit policy resolve their legacy knobs
+        into one; using those knobs off their defaults draws a
+        one-release :class:`DeprecationWarning` (pass ``policy=`` —
+        e.g. via :meth:`with_alpha` — instead).
+        """
+        if self.policy is not None:
+            return self.policy
+        legacy = {k: getattr(self, k)
+                  for k, d in _LEGACY_PLACEMENT_DEFAULTS.items()
+                  if getattr(self, k) != d}
+        if legacy:
+            warnings.warn(
+                f"DeploymentConfig placement knobs {sorted(legacy)} are "
+                f"deprecated (one release): pass "
+                f"policy=PlacementPolicy.own_victim(...) or use "
+                f"with_alpha()", DeprecationWarning, stacklevel=2)
+        return self._legacy_policy()
+
+    def with_alpha(self, alpha: float) -> "DeploymentConfig":
+        """This config retargeted to own-fraction *alpha* — the α-sweep
+        primitive.  Works on policy and legacy configs alike; the result
+        always carries an explicit policy (no deprecation warning)."""
+        pol = self.policy if self.policy is not None \
+            else self._legacy_policy()
+        return replace(self, alpha=alpha,
+                       policy=pol.with_fraction("own", alpha))
 
 
 class MemFSSDeployment:
@@ -108,17 +176,18 @@ class MemFSSDeployment:
                                 name=f"own@{n.name}", auth=auth)
             for n in self.own}
 
-        weights = own_victim_weights(config.alpha)
-        policy = PlacementPolicy({
-            "own": ClassSpec(weights["own"],
-                             tuple(n.name for n in self.own))})
+        pol = config.placement()
+        self.placement_policy = pol
+        weights = pol.weights()
+        policy = pol.materialize(
+            {"own": tuple(n.name for n in self.own)})
         self.fs = MemFSS(self.env, self.cluster.fabric, self.own, servers,
                          policy, password=config.password,
                          stripe_size=config.stripe_size,
-                         replication=config.replication,
-                         erasure=config.erasure,
+                         replication=pol.replication,
+                         erasure=pol.erasure,
                          write_window=config.write_window,
-                         capacity_guard=config.capacity_guard,
+                         capacity_guard=pol.capacity_guard,
                          io_deadline=config.io_deadline,
                          io_retry=RetryPolicy(attempts=max(
                              1, config.io_retries)),
@@ -136,8 +205,10 @@ class MemFSSDeployment:
             self.tenant_reservation = res.reserve("tenant", config.n_victim)
             self.victims = list(self.tenant_reservation.nodes)
             res.enforce_scavenging(config.victim_memory)
-            self.manager.scavenge(self.victims, config.victim_memory,
-                                  weights["victim"], class_name="victim")
+            if "victim" in weights:
+                self.manager.scavenge(self.victims, config.victim_memory,
+                                      weights["victim"],
+                                      class_name="victim")
         self.engine = WorkflowEngine(self.env, self.fs)
         self.probe = InterferenceProbe.from_servers(self.fs.servers)
 

@@ -47,7 +47,7 @@ def baseline_run(alpha: float, n_tasks: int = 2048,
                  monitor_interval: float = 1.0,
                  keep_series: bool = False) -> BaselineMetrics:
     """One Fig. 2 scenario: run the dd bag at the given α and measure."""
-    cfg = replace(config or DeploymentConfig(), alpha=alpha)
+    cfg = (config or DeploymentConfig()).with_alpha(alpha)
     dep = MemFSSDeployment(cfg)
     env = dep.env
     mon = Monitor(env, interval=monitor_interval)
@@ -73,9 +73,10 @@ def baseline_run(alpha: float, n_tasks: int = 2048,
                         class_probe(dep.victims))
     # Lazy: repro.metrics pulls in repro.exec, which imports this module.
     from ..metrics.pressure import attach_fill_probes, attach_pressure_probes
+    from ..metrics.registry import metrics_registry
     # Process-wide counters: start each scenario from zero so payloads
     # stay pure functions of the spec (serial == process backend).
-    pressure_stats.reset()
+    metrics_registry.reset()
     attach_pressure_probes(mon)
     attach_fill_probes(mon, dep.fs)
     mon.start()

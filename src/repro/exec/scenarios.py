@@ -318,6 +318,15 @@ def _run_chaos_soak(spec: ScenarioSpec) -> dict:
     return run_soak(spec)
 
 
+# -- lease market (market-fig2) ------------------------------------------------
+@scenario("market-fig2")
+def _run_market(spec: ScenarioSpec) -> dict:
+    # Lazy: repro.market imports the scavenger stack; workers only pay
+    # for it when a market scenario actually runs.
+    from ..market.scenario import run_market
+    return run_market(spec)
+
+
 # -- crash hook ----------------------------------------------------------------
 class _PickleHostileError(Exception):
     """Init signature that naive exception pickling cannot rebuild.

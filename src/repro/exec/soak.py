@@ -96,15 +96,17 @@ def run_soak(spec: ScenarioSpec) -> dict:
     """Execute one seeded soak run; the ``chaos-soak`` executor body."""
     p = spec.param_dict()
     seed = spec.seed if spec.seed is not None else int(p.get("seed", 0))
-    fault_stats.reset()
-    pressure_stats.reset()
+    # One uniform reset of every scenario-scoped counter (executor-scoped
+    # counters like the sweep cache deliberately survive).
+    from ..metrics.registry import metrics_registry
+    metrics_registry.reset()
     # Tight stores: aggregate ~768 MB for a ~384 MB payload, so any
     # pressure wave or eviction pushes individual stores over the edge.
     config = DeploymentConfig(
-        n_own=2, n_victim=4, alpha=0.3,
+        n_own=2, n_victim=4,
         victim_memory=96 * MB, own_store_capacity=192 * MB,
         stripe_size=4 * MB, write_window=2, seed=seed,
-        io_deadline=30.0, io_retries=3)
+        io_deadline=30.0, io_retries=3).with_alpha(0.3)
     dep = MemFSSDeployment(config)
     victim_names = {n.name for n in dep.victims}
     schedule = build_soak_schedule(

@@ -7,7 +7,7 @@ from .striping import (DEFAULT_STRIPE_SIZE, StripeSpan, join_payload,
                        stripe_key, stripe_spans)
 from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
                        normalize_path, parent_dir)
-from .placement import (ClassSpec, PlacementPolicy, PlannerStats, StripePlan,
+from .placement import (ClassSpec, PlacementMap, PlannerStats, StripePlan,
                         clear_placement_caches, planner_stats)
 from .erasure import (group_layout, parity_key, storage_overhead, xor_parity)
 from .memfss import (FileExists, FileNotFound, FsError, MemFSS, NotADir)
@@ -20,7 +20,7 @@ __all__ = [
     "stripe_key", "stripe_digest_array", "split_payload", "join_payload",
     "FileMeta", "PathError", "normalize_path", "parent_dir",
     "file_meta_key", "dir_key",
-    "ClassSpec", "PlacementPolicy", "StripePlan", "PlannerStats",
+    "ClassSpec", "PlacementMap", "StripePlan", "PlannerStats",
     "planner_stats", "clear_placement_caches",
     "CapacityLedger", "PressureStats", "pressure_stats", "select_targets",
     "group_layout", "parity_key", "xor_parity", "storage_overhead",
@@ -29,3 +29,17 @@ __all__ = [
     "MountPoint", "FileHandle", "HandleClosed",
     "ScavengingManager",
 ]
+
+
+def __getattr__(name: str):
+    # One-release shim: repro.fs.PlacementPolicy (the runtime object) was
+    # renamed PlacementMap; the name PlacementPolicy now belongs to the
+    # declarative config object in repro.core.policy.
+    if name == "PlacementPolicy":
+        import warnings
+        warnings.warn(
+            "repro.fs.PlacementPolicy was renamed PlacementMap; the "
+            "declarative config object is repro.core.policy.PlacementPolicy",
+            DeprecationWarning, stacklevel=2)
+        return PlacementMap
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,7 +8,7 @@ applies it to capacity on the *write* path.  Three pieces:
   chain and each node's usable free space, deterministically pick the
   first ``k`` nodes that can admit the stripe.  Pure so the batch
   (:meth:`~repro.fs.placement.StripePlan.chain`) and scalar
-  (:meth:`~repro.fs.placement.PlacementPolicy.ranked`) paths provably
+  (:meth:`~repro.fs.placement.PlacementMap.ranked`) paths provably
   agree (the hypothesis property test drives both through it).
 - :class:`CapacityLedger` — per-store free-space view plus in-flight
   write reservations, so a window of concurrent stripe puts does not

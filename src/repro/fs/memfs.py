@@ -15,7 +15,7 @@ from ..cluster.node import Node
 from ..sim import Environment
 from ..store import StoreServer
 from .memfss import MemFSS
-from .placement import ClassSpec, PlacementPolicy
+from .placement import ClassSpec, PlacementMap
 from .striping import DEFAULT_STRIPE_SIZE
 
 __all__ = ["build_memfs"]
@@ -31,7 +31,7 @@ def build_memfs(env: Environment, fabric: Fabric, nodes: list[Node],
     """A uniform MemFS: one class, all nodes compute *and* store."""
     # Interned: repeated deployments over the same node set (the ablation
     # sweeps re-build MemFS per data point) share one policy and its plans.
-    policy = PlacementPolicy.intern(PlacementPolicy(
+    policy = PlacementMap.intern(PlacementMap(
         {"all": ClassSpec(weight=0.0, nodes=tuple(n.name for n in nodes))}))
     return MemFSS(env, fabric, own_nodes=nodes, servers=servers,
                   policy=policy, password=password, stripe_size=stripe_size,

@@ -7,7 +7,7 @@ together:
   file system and pass the stores' AUTH policy);
 - any number of **victim classes** (store data only), managed dynamically
   by the :class:`~repro.fs.scavenger.ScavengingManager`;
-- the two-layer weighted HRW :class:`~repro.fs.placement.PlacementPolicy`;
+- the two-layer weighted HRW :class:`~repro.fs.placement.PlacementMap`;
 - per-file :class:`~repro.fs.metadata.FileMeta` records placed on own
   nodes by modulo hashing;
 - striping, optional k-replication (2nd/3rd HRW winners, §III-E) and
@@ -35,7 +35,7 @@ from .capacity import CapacityLedger, pressure_stats, select_targets
 from .erasure import group_layout, parity_key, reconstruct_size, xor_parity
 from .metadata import (FileMeta, PathError, dir_key, file_meta_key,
                        normalize_path, parent_dir)
-from .placement import PlacementPolicy
+from .placement import PlacementMap
 from .striping import (DEFAULT_STRIPE_SIZE, split_payload, stripe_count,
                        stripe_spans)
 
@@ -65,7 +65,7 @@ class MemFSS:
 
     def __init__(self, env: Environment, fabric: Fabric,
                  own_nodes: list[Node], servers: dict[str, StoreServer],
-                 policy: PlacementPolicy, *,
+                 policy: PlacementMap, *,
                  password: str = "",
                  stripe_size: int = DEFAULT_STRIPE_SIZE,
                  replication: int = 1,
@@ -100,7 +100,7 @@ class MemFSS:
         # Interned: reads reconstruct the recorded policy via from_meta,
         # which then hits this exact instance (and its cached plans) for
         # files written under the current policy.
-        self.policy = PlacementPolicy.intern(policy)
+        self.policy = PlacementMap.intern(policy)
         self.stripe_size = int(stripe_size)
         self.replication = replication
         self.erasure = erasure
@@ -499,7 +499,7 @@ class MemFSS:
 
     def _plan_for(self, meta: FileMeta):
         """The stripe plan of *meta* under its recorded (interned) policy."""
-        policy = PlacementPolicy.from_meta(meta, self.policy.family)
+        policy = PlacementMap.from_meta(meta, self.policy.family)
         return policy.plan_file(meta.inode, meta.n_stripes,
                                 erasure=meta.erasure)
 

@@ -1,20 +1,23 @@
 """Two-layer stripe placement (paper §III-B), batch-first.
 
 Layer 1 picks the node *class* by weighted HRW; layer 2 picks the node
-within the class by plain HRW.  A :class:`PlacementPolicy` is immutable —
+within the class by plain HRW.  (This runtime object was called
+``PlacementPolicy`` until the name moved to the declarative config
+object in :mod:`repro.core.policy`; the old name is a deprecated
+alias for one release.)  A :class:`PlacementMap` is immutable —
 membership changes (a victim class joining or leaving) produce a *new*
 policy — because every file's metadata records the policy under which its
 stripes were placed, and reads must be able to reconstruct exactly that
-placement (:meth:`PlacementPolicy.from_meta`).
+placement (:meth:`PlacementMap.from_meta`).
 
 Immutability is what makes the two amortizations here safe:
 
-- **Policy interning.**  :meth:`PlacementPolicy.from_meta` returns one
+- **Policy interning.**  :meth:`PlacementMap.from_meta` returns one
   shared instance per distinct metadata snapshot (an LRU-bounded intern
   cache), so per-request reads stop rebuilding hashers.
 - **Stripe plans.**  :class:`StripePlan` resolves class, primary node and
   replica/erasure chains for *all* keys of a file in one vectorized pass
-  (:meth:`PlacementPolicy.plan_file`, cached per policy), replacing the
+  (:meth:`PlacementMap.plan_file`, cached per policy), replacing the
   per-stripe scalar loops on the write/read/unlink/migrate paths.
 
 Planner cache behaviour is observable through :data:`planner_stats`
@@ -35,7 +38,7 @@ from .erasure import group_layout, parity_key
 from .metadata import FileMeta
 from .striping import stripe_digest_array, stripe_key
 
-__all__ = ["ClassSpec", "PlacementPolicy", "StripePlan", "PlannerStats",
+__all__ = ["ClassSpec", "PlacementMap", "StripePlan", "PlannerStats",
            "planner_stats", "clear_placement_caches"]
 
 
@@ -71,7 +74,7 @@ class PlannerStats:
 planner_stats = PlannerStats()
 
 #: Interned policies, keyed by (family, ordered class snapshot).
-_POLICY_CACHE: "OrderedDict[tuple, PlacementPolicy]" = OrderedDict()
+_POLICY_CACHE: "OrderedDict[tuple, PlacementMap]" = OrderedDict()
 _POLICY_CACHE_SIZE = 128
 #: Per-policy plan cache bound (plans hold O(n_keys × n_nodes) arrays).
 _PLAN_CACHE_SIZE = 64
@@ -111,7 +114,7 @@ class StripePlan:
     __slots__ = ("policy", "keys", "digests", "_class_order", "_win",
                  "_primary_idx", "_node_orders", "_primaries", "_index")
 
-    def __init__(self, policy: "PlacementPolicy",
+    def __init__(self, policy: "PlacementMap",
                  keys: Sequence[Hashable], digests: np.ndarray):
         if len(keys) != len(digests):
             raise ValueError("one digest per key required")
@@ -191,7 +194,7 @@ class StripePlan:
         return out if k is None else out[:k]
 
 
-class PlacementPolicy:
+class PlacementMap:
     """Immutable two-layer placement over named node classes."""
 
     def __init__(self, classes: dict[str, ClassSpec],
@@ -325,14 +328,14 @@ class PlacementPolicy:
 
     @classmethod
     def _intern_put(cls, token: tuple,
-                    policy: "PlacementPolicy") -> "PlacementPolicy":
+                    policy: "PlacementMap") -> "PlacementMap":
         _POLICY_CACHE[token] = policy
         while len(_POLICY_CACHE) > _POLICY_CACHE_SIZE:
             _POLICY_CACHE.popitem(last=False)
         return policy
 
     @classmethod
-    def intern(cls, policy: "PlacementPolicy") -> "PlacementPolicy":
+    def intern(cls, policy: "PlacementMap") -> "PlacementMap":
         """The canonical shared instance for *policy*'s snapshot.
 
         Policies are immutable, so call sites that rebuild equal policies
@@ -350,7 +353,7 @@ class PlacementPolicy:
 
     @classmethod
     def from_meta(cls, meta: FileMeta,
-                  family: str | HashFamily = MIX64) -> "PlacementPolicy":
+                  family: str | HashFamily = MIX64) -> "PlacementMap":
         """The (interned) policy a file was written under.
 
         Reconstruction is keyed by the metadata snapshot, so repeated
@@ -375,19 +378,19 @@ class PlacementPolicy:
 
     # -- evolution ---------------------------------------------------------------
     def with_class(self, name: str, weight: float,
-                   nodes: tuple[str, ...]) -> "PlacementPolicy":
+                   nodes: tuple[str, ...]) -> "PlacementMap":
         classes = dict(self._classes)
         classes[name] = ClassSpec(weight, tuple(nodes))
-        return PlacementPolicy(classes, self.family)
+        return PlacementMap(classes, self.family)
 
-    def without_class(self, name: str) -> "PlacementPolicy":
+    def without_class(self, name: str) -> "PlacementMap":
         classes = dict(self._classes)
         if name not in classes:
             raise KeyError(name)
         del classes[name]
-        return PlacementPolicy(classes, self.family)
+        return PlacementMap(classes, self.family)
 
-    def without_node(self, node: str) -> "PlacementPolicy":
+    def without_node(self, node: str) -> "PlacementMap":
         """Drop one node (failure / eviction) from whichever class holds it."""
         classes = {}
         found = False
@@ -400,14 +403,29 @@ class PlacementPolicy:
                 classes[cname] = spec
         if not found:
             raise KeyError(node)
-        return PlacementPolicy(classes, self.family)
+        return PlacementMap(classes, self.family)
 
-    def reweighted(self, weights: dict[str, float]) -> "PlacementPolicy":
+    def reweighted(self, weights: dict[str, float]) -> "PlacementMap":
         classes = {c: ClassSpec(weights.get(c, spec.weight), spec.nodes)
                    for c, spec in self._classes.items()}
-        return PlacementPolicy(classes, self.family)
+        return PlacementMap(classes, self.family)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{c}({len(s.nodes)}n,w={s.weight:.3g})"
                           for c, s in self._classes.items())
-        return f"<PlacementPolicy {parts}>"
+        return f"<PlacementMap {parts}>"
+
+
+def __getattr__(name: str):
+    # One-release shim: the runtime placement object was renamed
+    # PlacementMap when the declarative PlacementPolicy config moved to
+    # repro.core.policy.
+    if name == "PlacementPolicy":
+        import warnings
+        warnings.warn(
+            "repro.fs.placement.PlacementPolicy was renamed PlacementMap; "
+            "the declarative config object is repro.core.policy."
+            "PlacementPolicy",
+            DeprecationWarning, stacklevel=2)
+        return PlacementMap
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

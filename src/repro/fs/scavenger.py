@@ -42,7 +42,7 @@ from .capacity import pressure_stats, select_targets
 from .erasure import group_layout, parity_key, xor_parity
 from .memfss import FileNotFound, MemFSS
 from .metadata import FileMeta, file_meta_key
-from .placement import PlacementPolicy
+from .placement import PlacementMap
 from .striping import stripe_spans
 
 __all__ = ["ScavengingManager", "RepairDaemon"]
@@ -127,12 +127,59 @@ class ScavengingManager:
             if watch:
                 self.env.process(self._watch(lease, node),
                                  name=f"scavenge-watch@{node.name}")
-        self.fs.policy = PlacementPolicy.intern(self.fs.policy.with_class(
+        self.fs.policy = PlacementMap.intern(self.fs.policy.with_class(
             class_name, weight, tuple(n.name for n in nodes)))
         return servers
 
+    def scavenge_node(self, node: Node, memory: float,
+                      class_name: str = "victim",
+                      weight: float | None = None,
+                      watch: bool = True,
+                      drain_on_notice: bool = False) -> StoreServer:
+        """Claim a lease on a *single* node and grow *class_name* by it.
+
+        The market admission path: leases clear one at a time, so the
+        class accretes node by node instead of being rebuilt wholesale.
+        *weight* defaults to the class's current weight (required when the
+        class does not exist yet); reweighting after growth is the
+        controller's job (:meth:`rebalance`).
+        """
+        if weight is None:
+            spec = self.fs.policy.classes.get(class_name)
+            if spec is None:
+                raise ValueError(f"class {class_name!r} not in the policy "
+                                 f"yet; pass an explicit weight")
+            weight = spec.weight
+        lease = self.reservations.lease(node, memory, holder="memfss")
+        caps = self.caps or ResourceCaps(memory=memory)
+        container = Container(node, f"memfss@{node.name}", caps)
+        server = StoreServer(self.env, node, self.fs.fabric,
+                             capacity=memory, name=f"scv@{node.name}",
+                             auth=self.auth, container=container,
+                             costs=self.costs)
+        self.fs.servers[node.name] = server
+        self.leases[node.name] = lease
+        if watch:
+            watcher = (self._watch_notice if drain_on_notice
+                       else self._watch)
+            self.env.process(watcher(lease, node),
+                             name=f"scavenge-watch@{node.name}")
+        current = self.fs.policy.classes.get(class_name)
+        members = (current.nodes if current is not None else ()) \
+            + (node.name,)
+        self.fs.policy = PlacementMap.intern(self.fs.policy.with_class(
+            class_name, weight, members))
+        return server
+
     def _watch(self, lease: ScavengeLease, node: Node):
         yield lease.revoked
+        yield from self.evacuate(node)
+
+    def _watch_notice(self, lease: ScavengeLease, node: Node):
+        """Market watcher: start draining at the revocation *notice*, so
+        the drain window is actually used (waiting for the revocation
+        itself would waste the notice period)."""
+        yield self.env.any_of([lease.notified, lease.revoked])
         yield from self.evacuate(node)
 
     # -- eviction --------------------------------------------------------------------
@@ -155,7 +202,7 @@ class ScavengingManager:
         fault_stats.evacuations += 1
         # 1. Stop placing new data on the node (before queueing).
         if name in self.fs.policy.all_nodes:
-            self.fs.policy = PlacementPolicy.intern(
+            self.fs.policy = PlacementMap.intern(
                 self.fs.policy.without_node(name))
         yield from self._evac_lock.acquire()
         try:
@@ -166,14 +213,14 @@ class ScavengingManager:
         fault_stats.record_recovery(name, self.env.now)
         return moved
 
-    def _live_policy(self, policy: PlacementPolicy) -> PlacementPolicy:
+    def _live_policy(self, policy: PlacementMap) -> PlacementMap:
         """*policy* restricted to nodes that can receive migrated data:
         up, not mid-evacuation."""
         out = policy
         for n in policy.all_nodes:
             if n in self._evacuating or n not in self.fs.servers:
                 out = out.without_node(n)
-        return PlacementPolicy.intern(out)
+        return PlacementMap.intern(out)
 
     def _drain(self, node: Node, server: StoreServer):
         """Generator: copy every stripe *node* holds to live replacements."""
@@ -194,7 +241,7 @@ class ScavengingManager:
             # Both policies are interned, so every file written under the
             # same snapshot shares one vectorized plan for the old and the
             # post-eviction placement instead of re-ranking per stripe.
-            old_policy = PlacementPolicy.from_meta(meta,
+            old_policy = PlacementMap.from_meta(meta,
                                                    self.fs.policy.family)
             new_policy = self._live_policy(old_policy)
             old_plan = old_policy.plan_file(meta.inode, meta.n_stripes,
@@ -259,6 +306,158 @@ class ScavengingManager:
         self.migrated_bytes += moved
         return moved
 
+    # -- live retuning ----------------------------------------------------------------
+    def rebalance(self, new_map: PlacementMap,
+                  budget_bytes: float | None = None):
+        """Generator: move the system onto *new_map*, migrating **only**
+        the stripes whose placement changed between the old and new
+        :class:`~repro.fs.placement.StripePlan` (the market controller's
+        epoch step).
+
+        Per file, three phases keep concurrent reads safe:
+
+        1. copy every stripe whose replica chain gained a node to its new
+           location (spilling down the new chain under the capacity
+           guard),
+        2. rewrite the file's membership snapshot to the new placement,
+        3. only then delete the copies stranded on nodes the chain left —
+           so a read always finds data wherever its metadata (old or new)
+           points it.
+
+        *budget_bytes* is the per-call migration allowance (the repair
+        bandwidth the epoch may spend): files beyond the budget keep
+        their old placement and are reported as deferred, to be picked up
+        by the next epoch.  New writes follow *new_map* immediately —
+        the policy flips before the drain queues on the evacuation lock.
+        """
+        target_map = PlacementMap.intern(new_map)
+        self.fs.policy = target_map
+        yield from self._evac_lock.acquire()
+        try:
+            summary = yield from self._rebalance_locked(target_map,
+                                                        budget_bytes)
+        finally:
+            self._evac_lock.release()
+        return summary
+
+    def _rebalance_locked(self, target_map: PlacementMap,
+                          budget_bytes: float | None):
+        agent = self.fs.own_nodes[0]
+        client = self.fs.client(agent)
+        live_new = self._live_policy(target_map)
+        new_weights, new_members = live_new.snapshot()
+        moved_bytes = 0.0
+        moved_stripes = 0
+        freed_bytes = 0.0
+        deferred_files = 0
+        files_touched = 0
+        unsourced = 0
+        paths = yield from self.fs.list_all_files(agent)
+        for path in paths:
+            try:
+                meta = yield from self.fs.stat(agent, path)
+            except Exception:
+                continue
+            old_policy = PlacementMap.from_meta(meta,
+                                                self.fs.policy.family)
+            if old_policy.snapshot() == live_new.snapshot():
+                continue
+            if budget_bytes is not None and moved_bytes >= budget_bytes:
+                deferred_files += 1
+                continue
+            old_plan = old_policy.plan_file(meta.inode, meta.n_stripes,
+                                            erasure=meta.erasure)
+            new_plan = live_new.plan_file(meta.inode, meta.n_stripes,
+                                          erasure=meta.erasure)
+            want = max(meta.replication, 1)
+            stale: list[tuple[str, object]] = []
+            for idx in range(len(old_plan.keys)):
+                key = old_plan.keys[idx]
+                old_chain = old_plan.chain(idx, k=want)
+                new_chain = new_plan.chain(idx, k=want)
+                if set(old_chain) == set(new_chain):
+                    continue
+                additions = [t for t in new_chain if t not in old_chain]
+                stale.extend((t, key) for t in old_chain
+                             if t not in new_chain)
+                if not additions:
+                    continue
+                # Source: any live holder in the *recorded* rank chain
+                # (full walk — finds copies left by earlier spills too).
+                nbytes = piece = None
+                source = None
+                for t in old_plan.chain(idx):
+                    server = self.fs.servers.get(t)
+                    if server is None:
+                        continue
+                    try:
+                        nbytes, piece = yield from client.get(
+                            server, key, retry=NO_RETRY)
+                        source = t
+                        break
+                    except StoreError as exc:
+                        if not exc.code.fallthrough:
+                            raise
+                if source is None:
+                    # Nothing to copy from (crash ate every replica); the
+                    # repair daemon owns reconstruction, not the retune.
+                    unsourced += 1
+                    continue
+                for target in additions:
+                    dest = target
+                    if self.fs.capacity_guard and \
+                            not self.fs.ledger.admits(dest, nbytes):
+                        picked, distance, _short = select_targets(
+                            new_plan.chain(idx), nbytes, 1,
+                            self.fs.ledger.usable)
+                        if not picked:
+                            pressure_stats.evac_drops += 1
+                            continue
+                        pressure_stats.evac_spills += 1
+                        pressure_stats.spill_distance += distance
+                        dest = picked[0]
+                    try:
+                        yield from client.put(
+                            self.fs.servers[dest], key,
+                            nbytes=None if piece is not None else nbytes,
+                            payload=piece)
+                    except StoreError as exc:
+                        if exc.code is not StoreErrorCode.FULL:
+                            raise
+                        pressure_stats.evac_drops += 1
+                        continue
+                    self.moved_keys.append((key, source, dest))
+                    moved_bytes += nbytes
+                    moved_stripes += 1
+            # Phase 2: the snapshot flips to the new placement...
+            meta.class_weights = dict(new_weights)
+            meta.class_members = {c: list(m)
+                                  for c, m in new_members.items()}
+            yield from client.put(
+                self.fs._meta_server(file_meta_key(path)),
+                file_meta_key(path), payload=meta.to_bytes())
+            # Phase 3: ...and only now do the stranded copies go away.
+            for holder, key in stale:
+                server = self.fs.servers.get(holder)
+                if server is None:
+                    continue
+                try:
+                    released = yield from client.delete(server, key,
+                                                        retry=NO_RETRY)
+                except StoreError as exc:
+                    if not exc.code.fallthrough:
+                        raise
+                    continue
+                freed_bytes += released
+            files_touched += 1
+        self.migrated_bytes += moved_bytes
+        return {"moved_bytes": moved_bytes,
+                "moved_stripes": moved_stripes,
+                "freed_bytes": freed_bytes,
+                "files_touched": files_touched,
+                "deferred_files": deferred_files,
+                "unsourced": unsourced}
+
     def withdraw(self, node: Node):
         """Generator: voluntarily leave a node (same path as eviction)."""
         lease = self.leases.get(node.name)
@@ -279,7 +478,7 @@ class ScavengingManager:
         """
         self.fs.servers.pop(name, None)
         if name in self.fs.policy.all_nodes:
-            self.fs.policy = PlacementPolicy.intern(
+            self.fs.policy = PlacementMap.intern(
                 self.fs.policy.without_node(name))
         lease = self.leases.pop(name, None)
         if lease is not None and lease.active:
@@ -361,13 +560,13 @@ class RepairDaemon:
         return repaired
 
     def _repair_file(self, client, meta: FileMeta, path: str):
-        old_policy = PlacementPolicy.from_meta(meta, self.fs.policy.family)
+        old_policy = PlacementMap.from_meta(meta, self.fs.policy.family)
         dead = [n for n in old_policy.all_nodes
                 if n not in self.fs.servers]
         live_policy = old_policy
         for n in dead:
             live_policy = live_policy.without_node(n)
-        live_policy = PlacementPolicy.intern(live_policy)
+        live_policy = PlacementMap.intern(live_policy)
         plan = live_policy.plan_file(meta.inode, meta.n_stripes,
                                      erasure=meta.erasure)
         want = max(meta.replication, 1)

@@ -3,8 +3,9 @@
 from .hrw import (HashFamily, HrwHasher, MIX64, TR98, WeightedClassHrw, fnv1a,
                   hash_mix64, hash_mix64_batch, hash_tr98, hash_tr98_batch,
                   stable_digest)
-from .weights import (achieved_fractions, calibrate_weights,
-                      own_victim_weights, two_class_weights)
+from .weights import (WeightFitStats, achieved_fractions, calibrate_weights,
+                      clear_weight_fit_cache, own_victim_weights,
+                      two_class_weights, weight_fit_stats)
 from .consistent import ConsistentHashRing
 from .modulo import ModuloPlacer
 
@@ -13,6 +14,7 @@ __all__ = [
     "hash_mix64", "hash_tr98", "hash_mix64_batch", "hash_tr98_batch",
     "fnv1a", "stable_digest",
     "two_class_weights", "own_victim_weights", "achieved_fractions",
-    "calibrate_weights",
+    "calibrate_weights", "WeightFitStats", "weight_fit_stats",
+    "clear_weight_fit_cache",
     "ConsistentHashRing", "ModuloPlacer",
 ]

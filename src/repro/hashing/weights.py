@@ -16,11 +16,19 @@ Inverting gives :func:`two_class_weights`.  For three or more classes the
 win probabilities have no convenient closed form, so
 :func:`calibrate_weights` fits weights numerically against vectorized
 sampled hashes (deterministic under a fixed seed).
+
+The numeric fit is *memoized*: live weight retuning (the market
+controller recalibrates every epoch) revisits the same rounded fraction
+vectors over and over, and re-running a 60-iteration sampled fit for a
+state already solved would dominate the retune hot path.  Fits are keyed
+by the rounded fraction vector plus every fit parameter; hit/miss
+counters live on :data:`weight_fit_stats`.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Hashable
 
 import numpy as np
@@ -32,7 +40,54 @@ __all__ = [
     "own_victim_weights",
     "achieved_fractions",
     "calibrate_weights",
+    "WeightFitStats",
+    "weight_fit_stats",
+    "clear_weight_fit_cache",
 ]
+
+
+class WeightFitStats:
+    """Process-wide calibration counters (the ``planner_stats`` pattern).
+
+    ``fit_hits`` counts multi-class calibrations answered from the memo,
+    ``fit_misses`` the numeric fits actually run, and ``closed_form``
+    the two-class requests solved analytically (never cached — the
+    closed form is cheaper than a lookup).
+    """
+
+    _COUNTERS = ("fit_hits", "fit_misses", "closed_form")
+    __slots__ = _COUNTERS
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"<WeightFitStats {parts}>"
+
+
+weight_fit_stats = WeightFitStats()
+
+#: Memoized numeric fits: recurring market states (same rounded targets,
+#: same family and fit parameters) skip the sampled iteration entirely.
+_FIT_CACHE: "OrderedDict[tuple, dict]" = OrderedDict()
+_FIT_CACHE_SIZE = 256
+#: Fractions are rounded to this many decimals for the memo key: market
+#: states that differ by less than the fit tolerance share one fit.
+_FIT_KEY_DECIMALS = 6
+
+
+def clear_weight_fit_cache() -> None:
+    """Drop memoized fits and reset the fit counters (tests)."""
+    _FIT_CACHE.clear()
+    weight_fit_stats.reset()
 
 
 def two_class_weights(fraction_first: float,
@@ -81,6 +136,11 @@ def calibrate_weights(fractions: dict[Hashable, float],
     Stochastic-approximation fit: adjust each weight proportionally to the
     error between its empirical and target share, re-normalizing the minimum
     weight to zero each round.  Deterministic for a fixed *seed*.
+
+    Multi-class fits are memoized on the rounded fraction vector plus the
+    fit parameters, so per-epoch retunes that revisit a market state skip
+    the numeric iteration (see :data:`weight_fit_stats`).  A fresh dict is
+    returned on every call — callers may mutate the result freely.
     """
     if abs(sum(fractions.values()) - 1.0) > 1e-9:
         raise ValueError("target fractions must sum to 1")
@@ -92,8 +152,19 @@ def calibrate_weights(fractions: dict[Hashable, float],
     fam = get_family(family)
     m = float(fam.modulus)
     if len(classes) == 2:
+        weight_fit_stats.closed_form += 1
         w0, w1 = two_class_weights(fractions[classes[0]], fam)
         return {classes[0]: w0, classes[1]: w1}
+
+    token = (fam.name, samples, iterations, seed, float(tol),
+             tuple((c, round(float(fractions[c]), _FIT_KEY_DECIMALS))
+                   for c in classes))
+    cached = _FIT_CACHE.get(token)
+    if cached is not None:
+        _FIT_CACHE.move_to_end(token)
+        weight_fit_stats.fit_hits += 1
+        return dict(cached)
+    weight_fit_stats.fit_misses += 1
 
     rng = np.random.default_rng(seed)
     digests = rng.integers(0, 2**64, size=samples, dtype=np.uint64)
@@ -114,4 +185,7 @@ def calibrate_weights(fractions: dict[Hashable, float],
         for c in classes:
             weights[c] -= low
         step *= 0.92
+    _FIT_CACHE[token] = dict(weights)
+    while len(_FIT_CACHE) > _FIT_CACHE_SIZE:
+        _FIT_CACHE.popitem(last=False)
     return weights

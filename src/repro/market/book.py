@@ -1,0 +1,82 @@
+"""The marketplace order book: published memory offers and tenant demands.
+
+Victim reservations *publish* offers — size, lease duration, revocation
+notice — and storage consumers *submit* byte demands.  The book is plain
+bookkeeping: matching happens in the
+:class:`~repro.market.controller.MarketController`, which clears the book
+once per epoch in deterministic (sorted, seeded) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.node import Node
+from .stats import market_stats
+
+__all__ = ["MarketOffer", "TenantDemand", "MarketBook"]
+
+
+@dataclass
+class MarketOffer:
+    """One victim node's published memory offer."""
+
+    node: Node
+    memory: float
+    duration: float | None = None
+    notice: float = 0.0
+    posted_at: float = 0.0
+    granted_at: float | None = None
+
+    @property
+    def pending(self) -> bool:
+        return self.granted_at is None
+
+
+@dataclass
+class TenantDemand:
+    """One consumer's outstanding byte demand."""
+
+    tenant: str
+    nbytes: float
+    posted_at: float = 0.0
+
+
+@dataclass
+class MarketBook:
+    """Offers keyed by node name plus the demand ledger."""
+
+    offers: dict[str, MarketOffer] = field(default_factory=dict)
+    demands: list[TenantDemand] = field(default_factory=list)
+
+    def publish(self, node: Node, memory: float, *,
+                duration: float | None = None, notice: float = 0.0,
+                now: float = 0.0) -> MarketOffer:
+        """Post (or repost) an offer for *node*; replaces any stale one."""
+        if memory <= 0:
+            raise ValueError("memory must be positive")
+        offer = MarketOffer(node, float(memory), duration, float(notice),
+                            posted_at=now)
+        self.offers[node.name] = offer
+        market_stats.offers_published += 1
+        return offer
+
+    def submit(self, tenant: str, nbytes: float,
+               now: float = 0.0) -> TenantDemand:
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        demand = TenantDemand(tenant, float(nbytes), posted_at=now)
+        self.demands.append(demand)
+        market_stats.demands_submitted += 1
+        return demand
+
+    def withdraw(self, node_name: str) -> None:
+        self.offers.pop(node_name, None)
+
+    def pending_offers(self) -> list[MarketOffer]:
+        """Ungranted offers in deterministic (node-name) order."""
+        return [self.offers[name] for name in sorted(self.offers)
+                if self.offers[name].pending]
+
+    def demand_total(self) -> float:
+        return sum(d.nbytes for d in self.demands)

@@ -1,0 +1,83 @@
+"""Revocation-risk pricing for leased victim memory.
+
+Memtrade-style market terms make revocation *predictable*: a lease that
+expires in two seconds, or one whose notice period is too short to drain
+a store, is worth less than its nominal bytes.  :func:`lease_discount`
+turns a lease's terms into a usable-capacity multiplier in ``[0, 1]``;
+:func:`discounted_supply` aggregates a lease set into the
+risk-discounted victim supply the α-controller and the admission
+predictor both consume (Hydra's lesson — correlated reclaims are the
+failure mode to price in — shows up as the controller shrinking the
+victim share *before* the reclaim wave lands).
+
+Open-ended leases without market terms (``duration is None`` and zero
+notice — every lease predating the market) are priced at full value, so
+legacy deployments see byte-identical admission decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..cluster.reservation import ScavengeLease
+
+__all__ = ["lease_discount", "discounted_supply", "node_discounts"]
+
+#: Remaining-term horizon (seconds): a termed lease is worth its full
+#: bytes only while it has at least this long left to live.
+DEFAULT_RISK_HORIZON = 30.0
+
+#: Notice floor (seconds): shorter revocation notice than this scales
+#: the lease's value down proportionally (zero notice on a termed lease
+#: means reclaim behaves like a crash — price it near zero).
+DEFAULT_SHORT_NOTICE = 2.0
+
+
+def lease_discount(lease: ScavengeLease, now: float, *,
+                   horizon: float = DEFAULT_RISK_HORIZON,
+                   short_notice: float = DEFAULT_SHORT_NOTICE) -> float:
+    """Usable-capacity multiplier for one lease at time *now*.
+
+    - A lease already inside its drain window (noticed or revoked) is
+      worth nothing — its bytes are leaving.
+    - A termed lease decays linearly from 1 at ``remaining >= horizon``
+      to 0 at expiry, and is further scaled by ``notice /
+      short_notice`` (capped at 1) — short-notice reclaims leave no
+      time to drain.
+    - An open-ended, zero-notice lease (the legacy kind) is priced at
+      full value.
+    """
+    if not lease.active or lease.notified.triggered:
+        return 0.0
+    if lease.expires_at is None and lease.notice == 0.0:
+        return 1.0
+    d = 1.0
+    if lease.expires_at is not None:
+        remaining = lease.expires_at - now
+        if remaining <= 0.0:
+            return 0.0
+        if horizon > 0.0:
+            d *= min(1.0, remaining / horizon)
+    if short_notice > 0.0:
+        d *= min(1.0, lease.notice / short_notice)
+    return d
+
+
+def node_discounts(leases: Mapping[str, ScavengeLease], now: float, *,
+                   horizon: float = DEFAULT_RISK_HORIZON,
+                   short_notice: float = DEFAULT_SHORT_NOTICE,
+                   ) -> dict[str, float]:
+    """Per-node discount for a ``{node_name: lease}`` map (the
+    scavenger's ``leases`` attribute)."""
+    return {name: lease_discount(lease, now, horizon=horizon,
+                                 short_notice=short_notice)
+            for name, lease in leases.items()}
+
+
+def discounted_supply(leases: Iterable[ScavengeLease], now: float, *,
+                      horizon: float = DEFAULT_RISK_HORIZON,
+                      short_notice: float = DEFAULT_SHORT_NOTICE) -> float:
+    """Risk-discounted victim supply in bytes across *leases*."""
+    return sum(lease.memory * lease_discount(
+        lease, now, horizon=horizon, short_notice=short_notice)
+        for lease in leases)

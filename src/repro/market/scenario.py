@@ -1,0 +1,206 @@
+"""The ``market-fig2`` scenario: lease churn, static α vs the controller.
+
+One spec is one seeded run of the dd bag on a tight scavenging
+deployment while a deterministic *churn schedule* reclaims victim leases
+with notice and reposts them through the market book.  Three modes share
+the schedule and the workload:
+
+* ``calm`` — no churn, no controller: the per-task baseline durations
+  every slowdown is measured against;
+* ``static`` — churn with the controller granting reposted offers but
+  **not** retuning (``retune=False``): the paper's fixed α=25 % under a
+  hostile lease market;
+* ``controller`` — the same churn with live α retuning: risk-discounted
+  supply pulls data home before reclaim waves land.
+
+The payload carries per-task durations (slowdowns are computed against
+the same seed's ``calm`` run), the α trace, the market counters and a
+full read-back audit — any lost or truncated file is a data-loss event,
+and the soak lane (:mod:`repro.market.soak`) asserts there are none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.deployment import DeploymentConfig, MemFSSDeployment
+from ..exec.spec import ScenarioSpec
+from ..fs import pressure_stats
+from ..sim.rng import RngRegistry
+from ..units import GB, MB
+from ..workflows import WorkflowEngine, dd_bag
+from .controller import MarketController
+from .stats import market_stats
+
+__all__ = ["ChurnEvent", "build_churn_schedule", "market_spec",
+           "market_mode_specs", "run_market"]
+
+MARKET_MODES = ("calm", "static", "controller")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One reclaim (and optional repost) cycle on a victim node."""
+
+    at: float            # when the victim's lease gets its notice
+    victim: int          # index into the deployment's victim list
+    notice: float        # revocation-notice period (seconds)
+    repost: bool         # does the victim come back to the market?
+    repost_after: float  # delay from notice to the market repost
+    duration: float      # lease term offered on the repost
+
+
+def build_churn_schedule(n_victims: int, *, horizon: float = 12.0,
+                         n_events: int = 5,
+                         repost_probability: float = 0.5,
+                         stream=None,
+                         rng: RngRegistry | None = None,
+                         seed: int = 0) -> tuple[ChurnEvent, ...]:
+    """A seeded reclaim/repost schedule (same seed → identical events).
+
+    Each event serves a victim its revocation notice; with probability
+    *repost_probability* the node returns to the market as a *termed*
+    offer, otherwise the tenant keeps it — the supply shrinks for good,
+    which is exactly the state the α controller prices and static α
+    cannot.
+    """
+    if stream is None:
+        stream = (rng or RngRegistry(seed)).stream("market-churn")
+    events = []
+    for _ in range(n_events):
+        at = float(stream.uniform(2.0, horizon))
+        notice = float(stream.uniform(1.0, 4.0))
+        events.append(ChurnEvent(
+            at=at, victim=int(stream.choice(max(1, n_victims))),
+            notice=notice,
+            repost=bool(stream.uniform(0.0, 1.0) < repost_probability),
+            repost_after=notice + float(stream.uniform(2.0, 8.0)),
+            duration=float(stream.uniform(20.0, 60.0))))
+    return tuple(sorted(events, key=lambda e: (e.at, e.victim)))
+
+
+def _churn(env, manager, controller, victims, schedule, memory):
+    """Generator: walk the schedule, reclaiming and reposting leases."""
+    for ev in schedule:
+        if ev.at > env.now:
+            yield env.timeout(ev.at - env.now)
+        node = victims[ev.victim % len(victims)]
+        lease = manager.leases.get(node.name)
+        if lease is None or not lease.active or lease.notified.triggered:
+            continue        # already reclaimed (or never granted): skip
+        lease.revoke_with_notice("market-reclaim", notice=ev.notice)
+        if ev.repost:
+            env.call_later(
+                ev.repost_after,
+                lambda n=node, e=ev: controller.publish(
+                    n, memory, duration=e.duration, notice=e.notice))
+
+
+def market_spec(seed: int, mode: str = "controller", *,
+                n_tasks: int = 256, file_size: float = 64 * MB,
+                compute_seconds: float = 2.0, n_events: int = 5,
+                horizon: float = 12.0, repost_probability: float = 0.5,
+                epoch: float = 2.0, alpha: float = 0.25,
+                deadband: float = 0.05, alpha_ceil: float = 0.75,
+                budget_bytes: float | None = 768 * MB) -> ScenarioSpec:
+    if mode not in MARKET_MODES:
+        raise ValueError(f"mode must be one of {MARKET_MODES}, "
+                         f"got {mode!r}")
+    return ScenarioSpec.make(
+        "market-fig2", seed=seed, mode=mode, n_tasks=n_tasks,
+        file_size=float(file_size), compute_seconds=compute_seconds,
+        n_events=n_events, horizon=horizon,
+        repost_probability=repost_probability, epoch=epoch, alpha=alpha,
+        deadband=deadband, alpha_ceil=alpha_ceil,
+        budget_bytes=budget_bytes)
+
+
+def market_mode_specs(seed: int, **kwargs) -> list[ScenarioSpec]:
+    """The three-mode comparison unit for one seed (calm first)."""
+    return [market_spec(seed, mode, **kwargs) for mode in MARKET_MODES]
+
+
+def run_market(spec: ScenarioSpec) -> dict:
+    """Execute one seeded market scenario; the ``market-fig2`` executor."""
+    p = spec.param_dict()
+    seed = spec.seed if spec.seed is not None else int(p.get("seed", 0))
+    mode = p.get("mode", "controller")
+    if mode not in MARKET_MODES:
+        raise LookupError(f"unknown market mode {mode!r}")
+    # Lazy: repro.metrics aggregates subsystems from above this layer.
+    from ..metrics.registry import metrics_registry
+    metrics_registry.reset()
+    n_tasks = int(p.get("n_tasks", 256))
+    file_size = float(p.get("file_size", 64 * MB))
+    # Victim capacity ≈ the workload's victim share at the static α, so
+    # permanent reclaims push the static path into capacity pressure —
+    # the state the α controller prices away by pulling data home.
+    config = DeploymentConfig(
+        n_own=2, n_victim=4,
+        victim_memory=4 * GB, own_store_capacity=24 * GB,
+        stripe_size=32 * MB, write_window=2, seed=seed,
+    ).with_alpha(float(p.get("alpha", 0.25)))
+    dep = MemFSSDeployment(config)
+    env = dep.env
+
+    controller = None
+    if mode != "calm":
+        controller = MarketController(
+            env, dep.fs, dep.manager, dep.cluster.reservations,
+            dep.placement_policy, epoch=float(p.get("epoch", 2.0)),
+            deadband=float(p.get("deadband", 0.05)),
+            alpha_ceil=float(p.get("alpha_ceil", 0.75)),
+            budget_bytes=p.get("budget_bytes"),
+            retune=(mode == "controller"))
+        controller.submit_demand("market-fig2", n_tasks * file_size)
+        controller.start()
+        schedule = build_churn_schedule(
+            len(dep.victims), horizon=float(p.get("horizon", 12.0)),
+            n_events=int(p.get("n_events", 5)),
+            repost_probability=float(p.get("repost_probability", 0.5)),
+            stream=dep.rng.stream("market-churn"))
+        env.process(_churn(env, dep.manager, controller, dep.victims,
+                           schedule, config.victim_memory),
+                    name="market-churn")
+
+    workflow = dd_bag(n_tasks=n_tasks, file_size=file_size,
+                      compute_seconds=float(p.get("compute_seconds", 2.0)))
+    engine = WorkflowEngine(env, dep.fs, gc_intermediates=False)
+    result = engine.execute(workflow)
+    if controller is not None:
+        controller.stop()
+
+    # Read-back audit: every output must come back at full size through
+    # whatever placement the churn left behind.  Lost files are the
+    # zero-tolerance soak invariant.
+    lost: list[str] = []
+
+    def audit():
+        agent = dep.own[0]
+        for task in workflow.tasks:
+            for out in task.outputs:
+                try:
+                    size, _ = yield from dep.fs.read_file(agent, out.path)
+                except Exception:
+                    lost.append(out.path)
+                    continue
+                if size != out.size:
+                    lost.append(out.path)
+
+    env.process(audit(), name="market-audit")
+    env.run()
+
+    return {
+        "seed": seed,
+        "mode": mode,
+        "makespan_s": float(result.makespan),
+        "task_s": {tid: float(r.duration)
+                   for tid, r in sorted(result.tasks.items())},
+        "alpha_trace": (controller.alpha_trace
+                        if controller is not None else []),
+        "final_alpha": (controller.alpha if controller is not None
+                        else float(p.get("alpha", 0.25))),
+        "lost_files": sorted(lost),
+        "market": market_stats.snapshot(),
+        "pressure": pressure_stats.snapshot(),
+    }

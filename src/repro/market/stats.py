@@ -1,0 +1,51 @@
+"""Process-wide market counters (the ``planner_stats`` pattern).
+
+One instance per process; scenario executors reset it at the top of each
+run so payloads stay pure functions of the spec (see the determinism
+contract in :mod:`repro.exec`).  Surfaced as monitor probes by
+:mod:`repro.metrics.market` and reset uniformly through the
+:class:`~repro.metrics.registry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MarketStats", "market_stats"]
+
+
+class MarketStats:
+    """Cumulative marketplace counters.
+
+    ``epochs`` counts controller clearing rounds, ``retunes`` the rounds
+    that actually changed α (and triggered a plan-diff rebalance);
+    ``idle_epochs`` the rounds short-circuited with an empty book and an
+    unchanged placement.  Lease lifecycle: ``offers_published`` /
+    ``leases_granted`` / ``leases_noticed`` / ``leases_revoked``.
+    Migration accounting comes from the scavenger's rebalance summaries:
+    ``stripes_migrated`` / ``bytes_migrated`` / ``bytes_freed`` /
+    ``files_deferred`` (budget exhausted, left for the next epoch).
+    """
+
+    _COUNTERS = ("epochs", "retunes", "idle_epochs",
+                 "offers_published", "leases_granted", "leases_noticed",
+                 "leases_revoked", "demands_submitted",
+                 "stripes_migrated", "bytes_migrated", "bytes_freed",
+                 "files_deferred")
+    __slots__ = _COUNTERS
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items()
+                          if v)
+        return f"<MarketStats {parts or 'idle'}>"
+
+
+market_stats = MarketStats()

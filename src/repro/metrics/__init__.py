@@ -3,10 +3,12 @@
 from .exec import attach_exec_probes, exec_counters
 from .faults import (attach_fault_probes, fault_counters,
                      render_fault_report)
+from .market import attach_market_probes, market_counters
 from .placement import attach_placement_probes, placement_counters
 from .pressure import (attach_fill_probes, attach_pressure_probes,
                        class_fill_ratios, pressure_counters,
                        render_pressure_report)
+from .registry import MetricsRegistry, metrics_registry
 from .report import fmt_pct, render_bars, render_table
 from .solver import (attach_solver_probes, selector_decisions,
                      selector_summary, solver_counters)
@@ -22,4 +24,6 @@ __all__ = [
     "exec_counters", "attach_exec_probes",
     "pressure_counters", "attach_pressure_probes", "attach_fill_probes",
     "class_fill_ratios", "render_pressure_report",
+    "market_counters", "attach_market_probes",
+    "MetricsRegistry", "metrics_registry",
 ]

@@ -1,0 +1,35 @@
+"""Marketplace observability.
+
+The lease market (:mod:`repro.market`) keeps process-wide counters —
+offers published, leases granted/noticed/revoked, controller epochs and
+α retunes, and the bytes/stripes the plan-diff rebalances migrated.
+This module exposes them as plain snapshots for reports and as
+:class:`~repro.sim.monitor.Monitor` probes so experiment runs can chart
+market activity next to CPU/NIC utilization.
+"""
+
+from __future__ import annotations
+
+from ..market.stats import market_stats
+from ..sim.monitor import Monitor, TimeSeries
+
+__all__ = ["market_counters", "attach_market_probes"]
+
+_FIELDS = market_stats._COUNTERS
+
+
+def market_counters() -> dict[str, float]:
+    """Current marketplace counters (cumulative since last reset)."""
+    return market_stats.snapshot()
+
+
+def attach_market_probes(monitor: Monitor,
+                         prefix: str = "market") -> dict[str, TimeSeries]:
+    """Sample every market counter as a ``<prefix>.<field>`` time series.
+
+    Counters are cumulative; diff consecutive samples for rates.
+    """
+    return monitor.add_probes({
+        f"{prefix}.{field}": (lambda f=field:
+                              float(getattr(market_stats, f)))
+        for field in _FIELDS})

@@ -1,0 +1,103 @@
+"""The single entry point over every process-wide counter object.
+
+The repo accumulated one ``*_stats`` singleton per subsystem — pressure,
+faults, placement planner, flow solver, weight-fit memo, the lease
+market, the sweep executor — and every scenario executor had to know
+which ones to reset to keep payloads pure functions of their spec (the
+determinism contract: a scenario must see identical counters whether it
+runs first in a process or fiftieth).  The :class:`MetricsRegistry`
+replaces that folklore with two named groups:
+
+* ``scenario`` — counters scoped to one simulated scenario.  Executors
+  call ``metrics_registry.reset()`` once at the top instead of picking
+  singletons by hand; adding a new subsystem means registering its stats
+  object here, not editing every executor.
+* ``executor`` — counters scoped to the *process* (sweep cache
+  hits/misses, worker crashes).  Deliberately **not** touched by a
+  scenario reset: a warm-cache assertion must survive the scenarios it
+  measures.
+
+Every registered object obeys the tiny stats protocol the singletons
+already share: ``reset()`` and ``snapshot() -> dict``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["MetricsRegistry", "metrics_registry"]
+
+
+class StatsLike(Protocol):
+    """The counter-object protocol every ``*_stats`` singleton obeys."""
+
+    def reset(self) -> None: ...          # pragma: no cover - protocol
+    def snapshot(self) -> dict: ...       # pragma: no cover - protocol
+
+
+class MetricsRegistry:
+    """Named groups of counter singletons with uniform reset/snapshot."""
+
+    def __init__(self):
+        self._groups: dict[str, dict[str, StatsLike]] = {}
+
+    def register(self, name: str, stats: StatsLike, *,
+                 group: str = "scenario") -> None:
+        """Add *stats* under *name*; re-registering a name replaces it
+        (same-object re-registration is an idempotent no-op)."""
+        for members in self._groups.values():
+            members.pop(name, None)
+        self._groups.setdefault(group, {})[name] = stats
+
+    def names(self, group: str | None = None) -> list[str]:
+        if group is not None:
+            return sorted(self._groups.get(group, {}))
+        return sorted(n for members in self._groups.values()
+                      for n in members)
+
+    def reset(self, group: str = "scenario") -> None:
+        """Zero every counter in *group* (scenario executors call this
+        once at the top of each run)."""
+        for stats in self._groups.get(group, {}).values():
+            stats.reset()
+
+    def reset_all(self) -> None:
+        for members in self._groups.values():
+            for stats in members.values():
+                stats.reset()
+
+    def snapshot(self, group: str | None = None) -> dict[str, dict]:
+        """``{name: counters}`` over *group* (or everything)."""
+        out: dict[str, dict] = {}
+        for gname, members in sorted(self._groups.items()):
+            if group is not None and gname != group:
+                continue
+            for name, stats in sorted(members.items()):
+                out[name] = stats.snapshot()
+        return out
+
+
+def _default_registry() -> MetricsRegistry:
+    # Local imports: this module is imported by repro.metrics, which
+    # sits above every subsystem it aggregates.
+    from ..exec.stats import exec_stats
+    from ..faults.stats import fault_stats
+    from ..fs.capacity import pressure_stats
+    from ..fs.placement import planner_stats
+    from ..hashing.weights import weight_fit_stats
+    from ..market.stats import market_stats
+    from ..sim.flownet import flownet_stats
+
+    registry = MetricsRegistry()
+    registry.register("pressure", pressure_stats)
+    registry.register("faults", fault_stats)
+    registry.register("planner", planner_stats)
+    registry.register("solver", flownet_stats)
+    registry.register("weight_fit", weight_fit_stats)
+    registry.register("market", market_stats)
+    registry.register("exec", exec_stats, group="executor")
+    return registry
+
+
+#: Process-wide instance with every known subsystem pre-registered.
+metrics_registry = _default_registry()

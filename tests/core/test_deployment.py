@@ -8,10 +8,11 @@ from repro.workflows import dd_bag
 
 
 def small_config(**kw):
-    base = dict(n_own=2, n_victim=4, alpha=0.25, victim_memory=2 * GB,
+    base = dict(n_own=2, n_victim=4, victim_memory=2 * GB,
                 own_store_capacity=8 * GB, stripe_size=8 * MB)
     base.update(kw)
-    return DeploymentConfig(**base)
+    alpha = base.pop("alpha", 0.25)
+    return DeploymentConfig(**base).with_alpha(alpha)
 
 
 class TestDeploymentConfig:

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import build_das5
 from repro.faults import (FaultEvent, FaultInjector, FaultSchedule,
                           fault_stats, revocation_storm)
-from repro.fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from repro.fs import ClassSpec, MemFSS, PlacementMap, ScavengingManager
 from repro.hashing import own_victim_weights
 from repro.sim.rng import RngRegistry
 from repro.store import StoreServer
@@ -27,7 +27,7 @@ def build_rig(n_own=2, n_victim=4, alpha=0.25, replication=1):
     servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
                for n in own}
     weights = own_victim_weights(alpha)
-    policy = PlacementPolicy(
+    policy = PlacementMap(
         {"own": ClassSpec(weights["own"], tuple(n.name for n in own))})
     fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64,
                 replication=replication)

@@ -4,7 +4,7 @@ stores and a MemFSS deployment."""
 import pytest
 
 from repro.cluster import build_das5
-from repro.fs import ClassSpec, MemFSS, PlacementPolicy
+from repro.fs import ClassSpec, MemFSS, PlacementMap
 from repro.hashing import own_victim_weights
 from repro.store import AuthPolicy, StoreServer
 from repro.units import GB
@@ -25,7 +25,7 @@ class Rig:
                 self.env, node, self.cluster.fabric, capacity=10 * GB,
                 auth=auth, name=f"srv@{node.name}")
         weights = own_victim_weights(alpha)
-        policy = PlacementPolicy({
+        policy = PlacementMap({
             "own": ClassSpec(weights["own"],
                              tuple(n.name for n in self.own)),
             "victim": ClassSpec(weights["victim"],

@@ -170,8 +170,8 @@ class TestReplication:
         rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
         meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
         # Wipe each stripe's primary copy.
-        from repro.fs import PlacementPolicy, stripe_key
-        policy = PlacementPolicy.from_meta(meta)
+        from repro.fs import PlacementMap, stripe_key
+        policy = PlacementMap.from_meta(meta)
         for i in range(meta.n_stripes):
             key = stripe_key(meta.inode, i)
             primary = policy.place(key)
@@ -183,8 +183,8 @@ class TestReplication:
         data = bytes(128)
         rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
         meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
-        from repro.fs import PlacementPolicy, stripe_key
-        policy = PlacementPolicy.from_meta(meta)
+        from repro.fs import PlacementMap, stripe_key
+        policy = PlacementMap.from_meta(meta)
         key = stripe_key(meta.inode, 0)
         rig.servers[policy.place(key)].kv.delete(key)
         with pytest.raises(FileNotFound):
@@ -205,8 +205,8 @@ class TestErasure:
         data = bytes((i * 37) % 256 for i in range(640))
         rig.run(rig.fs.write_file(rig.own[0], "/f", payload=data))
         meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
-        from repro.fs import PlacementPolicy, stripe_key
-        policy = PlacementPolicy.from_meta(meta)
+        from repro.fs import PlacementMap, stripe_key
+        policy = PlacementMap.from_meta(meta)
         key = stripe_key(meta.inode, 5)
         rig.servers[policy.place(key)].kv.delete(key)
         _, back = rig.run(rig.fs.read_file(rig.own[0], "/f"))
@@ -216,8 +216,8 @@ class TestErasure:
         rig = make_rig(erasure=(4, 1))
         rig.run(rig.fs.write_file(rig.own[0], "/f", payload=bytes(640)))
         meta = rig.run(rig.fs.stat(rig.own[0], "/f"))
-        from repro.fs import PlacementPolicy, stripe_key
-        policy = PlacementPolicy.from_meta(meta)
+        from repro.fs import PlacementMap, stripe_key
+        policy = PlacementMap.from_meta(meta)
         for idx in (0, 1):  # same parity group
             key = stripe_key(meta.inode, idx)
             rig.servers[policy.place(key)].kv.delete(key)

@@ -10,7 +10,7 @@ victim classes at runtime and check that old placements survive.
 import pytest
 
 from repro.cluster import build_das5
-from repro.fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from repro.fs import ClassSpec, MemFSS, PlacementMap, ScavengingManager
 from repro.hashing import calibrate_weights
 from repro.store import StoreServer
 from repro.units import GB
@@ -23,7 +23,7 @@ def build_rig(n_own=2, n_v1=3, n_v2=3):
     own = list(res.reserve("memfss", n_own).nodes)
     servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
                for n in own}
-    policy = PlacementPolicy(
+    policy = PlacementMap(
         {"own": ClassSpec(0.0, tuple(n.name for n in own))})
     fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64)
     t1 = res.reserve("tenant1", n_v1)

@@ -4,13 +4,13 @@ import collections
 
 import pytest
 
-from repro.fs import ClassSpec, FileMeta, PlacementPolicy
+from repro.fs import ClassSpec, FileMeta, PlacementMap
 from repro.hashing import MIX64, own_victim_weights
 
 
 def make_policy(alpha=0.5, n_own=2, n_victim=4):
     w = own_victim_weights(alpha)
-    return PlacementPolicy({
+    return PlacementMap({
         "own": ClassSpec(w["own"], tuple(f"own{i}" for i in range(n_own))),
         "victim": ClassSpec(w["victim"],
                             tuple(f"vic{i}" for i in range(n_victim))),
@@ -20,21 +20,21 @@ def make_policy(alpha=0.5, n_own=2, n_victim=4):
 class TestConstruction:
     def test_rejects_shared_nodes(self):
         with pytest.raises(ValueError):
-            PlacementPolicy({
+            PlacementMap({
                 "a": ClassSpec(0.0, ("x",)),
                 "b": ClassSpec(0.0, ("x",)),
             })
 
     def test_rejects_all_empty(self):
         with pytest.raises(ValueError):
-            PlacementPolicy({"a": ClassSpec(0.0, ())})
+            PlacementMap({"a": ClassSpec(0.0, ())})
 
     def test_rejects_no_classes(self):
         with pytest.raises(ValueError):
-            PlacementPolicy({})
+            PlacementMap({})
 
     def test_empty_class_allowed_if_another_has_nodes(self):
-        p = PlacementPolicy({
+        p = PlacementMap({
             "a": ClassSpec(0.0, ("x",)),
             "b": ClassSpec(0.0, ()),
         })
@@ -88,7 +88,7 @@ class TestMetaRoundTrip:
         meta = FileMeta(path="/f", inode=1, size=1000, stripe_size=10,
                         n_stripes=100, class_weights=weights,
                         class_members=members)
-        q = PlacementPolicy.from_meta(meta)
+        q = PlacementMap.from_meta(meta)
         keys = [("stripe", 1, i) for i in range(200)]
         assert [p.place(k) for k in keys] == [q.place(k) for k in keys]
 
@@ -102,7 +102,7 @@ class TestMetaRoundTrip:
                         class_members=members)
         p2 = p.with_class("victim2", 0.0, ("w0", "w1"))
         del p2  # current policy changed; recorded policy still works
-        q = PlacementPolicy.from_meta(meta)
+        q = PlacementMap.from_meta(meta)
         keys = [("stripe", 1, i) for i in range(10)]
         assert [q.place(k) for k in keys] == [p.place(k) for k in keys]
 

@@ -4,9 +4,9 @@ import pytest
 
 from repro.cluster import build_das5
 from repro.fs import (ClassSpec, FileExists, FsError, HandleClosed, MemFSS,
-                      MountPoint, PlacementPolicy, ScavengingManager,
+                      MountPoint, PlacementMap, ScavengingManager,
                       stripe_key)
-from repro.fs import PlacementPolicy as PP
+from repro.fs import PlacementMap as PP
 from repro.hashing import own_victim_weights
 from repro.store import StoreServer
 from repro.units import GB
@@ -140,7 +140,7 @@ def build_scavenging_rig(alpha=0.5, n_own=2, n_victim=3,
     own = list(res.reserve("memfss-user", n_own).nodes)
     servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
                for n in own}
-    policy = PlacementPolicy(
+    policy = PlacementMap(
         {"own": ClassSpec(0.0, tuple(n.name for n in own))})
     fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64)
     tenant = res.reserve("tenant", n_victim)

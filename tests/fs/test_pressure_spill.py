@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import build_das5
-from repro.fs import (CapacityLedger, ClassSpec, MemFSS, PlacementPolicy,
+from repro.fs import (CapacityLedger, ClassSpec, MemFSS, PlacementMap,
                       pressure_stats, select_targets)
 from repro.hashing import own_victim_weights
 from repro.store import StoreError, StoreErrorCode, StoreServer
@@ -44,7 +44,7 @@ def build_rig(cap_own=4096.0, cap_victim=4096.0, n_own=2, n_victim=3,
                                          capacity=cap_victim,
                                          name=f"vic@{node.name}")
     weights = own_victim_weights(alpha)
-    policy = PlacementPolicy({
+    policy = PlacementMap({
         "own": ClassSpec(weights["own"], tuple(n.name for n in own)),
         "victim": ClassSpec(weights["victim"],
                             tuple(n.name for n in victims))})
@@ -197,7 +197,7 @@ class TestBatchScalarEquivalence:
     """Spill placement is a pure function of (plan chain, capacity map);
     the batch and scalar placement paths must agree on the chain."""
 
-    POLICY = PlacementPolicy({
+    POLICY = PlacementMap({
         "own": ClassSpec(2.0, ("n0", "n1", "n2")),
         "victim": ClassSpec(1.0, ("n3", "n4", "n5", "n6"))})
 

@@ -66,7 +66,7 @@ class TestReadRange:
 class TestStreamingTasks:
     def test_io_slices_spreads_reads(self):
         from repro.cluster import build_das5
-        from repro.fs import ClassSpec, MemFSS, PlacementPolicy
+        from repro.fs import ClassSpec, MemFSS, PlacementMap
         from repro.store import StoreServer
         from repro.units import GB, MB
         from repro.workflows import (FileSpec, Task, Workflow,
@@ -77,7 +77,7 @@ class TestStreamingTasks:
         own = list(cluster.nodes)
         servers = {n.name: StoreServer(env, n, cluster.fabric,
                                        capacity=8 * GB) for n in own}
-        policy = PlacementPolicy(
+        policy = PlacementMap(
             {"own": ClassSpec(0.0, tuple(n.name for n in own))})
         fs = MemFSS(env, cluster.fabric, own, servers, policy,
                     stripe_size=4 * MB)

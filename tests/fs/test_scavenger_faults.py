@@ -5,7 +5,7 @@ import pytest
 
 from repro.cluster import build_das5
 from repro.faults import fault_stats
-from repro.fs import ClassSpec, MemFSS, PlacementPolicy, ScavengingManager
+from repro.fs import ClassSpec, MemFSS, PlacementMap, ScavengingManager
 from repro.fs.scavenger import RepairDaemon
 from repro.fs.striping import stripe_key
 from repro.hashing import own_victim_weights
@@ -30,7 +30,7 @@ def build_rig(alpha=0.25, n_own=2, n_victim=4, per_node_memory=2 * GB,
     servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=10 * GB)
                for n in own}
     weights = own_victim_weights(alpha)
-    policy = PlacementPolicy(
+    policy = PlacementMap(
         {"own": ClassSpec(weights["own"], tuple(n.name for n in own))})
     fs = MemFSS(env, cluster.fabric, own, servers, policy, stripe_size=64,
                 replication=replication, erasure=erasure)
@@ -167,7 +167,7 @@ class TestCrashAndRepair:
         ok = {v.name: True for v in victims}
         for path in run(cluster, fs.list_all_files(own[0])):
             meta = run(cluster, fs.stat(own[0], path))
-            policy = PlacementPolicy.from_meta(meta, fs.policy.family)
+            policy = PlacementMap.from_meta(meta, fs.policy.family)
             plan = policy.plan_file(meta.inode, meta.n_stripes,
                                     erasure=meta.erasure)
             k, m = meta.erasure

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.fs import (ClassSpec, FileMeta, PlacementPolicy, StripePlan,
+from repro.fs import (ClassSpec, FileMeta, PlacementMap, StripePlan,
                       planner_stats, stripe_digest_array, stripe_key)
 from repro.fs.placement import clear_placement_caches
 from repro.hashing import MIX64, TR98, own_victim_weights, stable_digest
@@ -40,7 +40,7 @@ def policies(draw):
         nodes = tuple(f"n{serial + i}" for i in range(size))
         serial += size
         classes[f"c{ci}"] = ClassSpec(frac * modulus, nodes)
-    return PlacementPolicy(classes, family)
+    return PlacementMap(classes, family)
 
 
 def keys_for(inode, n):
@@ -74,7 +74,7 @@ class TestPlanEquivalence:
         """Fig. 2's α endpoints: one class carries weight == modulus and
         must receive nothing, in scalar and batch resolution alike."""
         w = own_victim_weights(alpha, family)
-        policy = PlacementPolicy({
+        policy = PlacementMap({
             "own": ClassSpec(w["own"], ("o0", "o1")),
             "victim": ClassSpec(w["victim"], ("v0", "v1", "v2")),
         }, family)
@@ -88,7 +88,7 @@ class TestPlanEquivalence:
 
     @pytest.mark.parametrize("family", FAMILIES)
     def test_single_node_class(self, family):
-        policy = PlacementPolicy({
+        policy = PlacementMap({
             "solo": ClassSpec(0.0, ("lonely",)),
             "rest": ClassSpec(0.0, ("a", "b")),
         }, family)
@@ -99,7 +99,7 @@ class TestPlanEquivalence:
             assert plan.chain(i, 3) == policy.ranked(key, k=3)
 
     def test_empty_plan(self):
-        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x",))})
+        policy = PlacementMap({"a": ClassSpec(0.0, ("x",))})
         plan = policy.plan([])
         assert len(plan) == 0 and plan.primaries == ()
 
@@ -115,7 +115,7 @@ class TestPlanEquivalence:
         keys = [("stripe", 7, i) for i in range(12)]
         for family, expect in golden.items():
             w = own_victim_weights(0.25, family)
-            policy = PlacementPolicy({
+            policy = PlacementMap({
                 "own": ClassSpec(w["own"],
                                  tuple(f"o{i}" for i in range(4))),
                 "victim": ClassSpec(w["victim"],
@@ -136,26 +136,26 @@ class TestPolicyInterning:
     @settings(max_examples=40, deadline=None)
     def test_from_meta_round_trip_is_interned(self, policy):
         meta = self.make_meta(policy)
-        first = PlacementPolicy.from_meta(meta, policy.family)
-        assert PlacementPolicy.from_meta(meta, policy.family) is first
+        first = PlacementMap.from_meta(meta, policy.family)
+        assert PlacementMap.from_meta(meta, policy.family) is first
         # The freshly built policy has the same snapshot -> same instance.
-        assert PlacementPolicy.intern(policy) is first
+        assert PlacementMap.intern(policy) is first
 
     def test_interned_policy_shares_plans(self):
         clear_placement_caches()
-        policy = PlacementPolicy.intern(
-            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        policy = PlacementMap.intern(
+            PlacementMap({"a": ClassSpec(0.0, ("x", "y"))}))
         meta = self.make_meta(policy)
-        again = PlacementPolicy.from_meta(meta, policy.family)
+        again = PlacementMap.from_meta(meta, policy.family)
         assert again is policy
         plan = policy.plan_file(1, 10)
         assert again.plan_file(1, 10) is plan
 
     def test_distinct_snapshots_not_shared(self):
-        a = PlacementPolicy.intern(
-            PlacementPolicy({"a": ClassSpec(0.0, ("x",))}))
-        b = PlacementPolicy.intern(
-            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        a = PlacementMap.intern(
+            PlacementMap({"a": ClassSpec(0.0, ("x",))}))
+        b = PlacementMap.intern(
+            PlacementMap({"a": ClassSpec(0.0, ("x", "y"))}))
         assert a is not b
 
     def test_family_part_of_intern_key(self):
@@ -164,17 +164,17 @@ class TestPolicyInterning:
         meta = FileMeta(path="/f", inode=1, size=10, stripe_size=10,
                         n_stripes=1, class_weights=weights,
                         class_members=members)
-        assert PlacementPolicy.from_meta(meta, MIX64) is not \
-            PlacementPolicy.from_meta(meta, TR98)
+        assert PlacementMap.from_meta(meta, MIX64) is not \
+            PlacementMap.from_meta(meta, TR98)
 
     def test_counters_move(self):
         clear_placement_caches()
-        policy = PlacementPolicy.intern(
-            PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))}))
+        policy = PlacementMap.intern(
+            PlacementMap({"a": ClassSpec(0.0, ("x", "y"))}))
         meta = self.make_meta(policy)
-        PlacementPolicy.from_meta(meta, policy.family)
+        PlacementMap.from_meta(meta, policy.family)
         before = planner_stats.snapshot()
-        PlacementPolicy.from_meta(meta, policy.family)
+        PlacementMap.from_meta(meta, policy.family)
         policy.plan_file(1, 10)
         policy.plan_file(1, 10)
         after = planner_stats.snapshot()
@@ -185,13 +185,13 @@ class TestPolicyInterning:
 
 class TestPlanFile:
     def test_plan_file_cached_identity(self):
-        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y", "z"))})
+        policy = PlacementMap({"a": ClassSpec(0.0, ("x", "y", "z"))})
         assert policy.plan_file(3, 8) is policy.plan_file(3, 8)
         assert policy.plan_file(3, 8) is not policy.plan_file(4, 8)
 
     def test_plan_file_includes_parity_keys(self):
         from repro.fs import parity_key
-        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y", "z"))})
+        policy = PlacementMap({"a": ClassSpec(0.0, ("x", "y", "z"))})
         plan = policy.plan_file(3, 7, erasure=(3, 2))
         # ceil(7/3) = 3 groups x 2 parity keys after the 7 stripes.
         assert len(plan) == 7 + 6
@@ -208,13 +208,13 @@ class TestPlanFile:
             [stable_digest(stripe_key(inode, i)) for i in range(n)]
 
     def test_plan_digests_match_keys(self):
-        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x", "y"))})
+        policy = PlacementMap({"a": ClassSpec(0.0, ("x", "y"))})
         plan = policy.plan_file(11, 5)
         assert plan.digests.tolist() == \
             [stable_digest(k) for k in plan.keys]
 
     def test_plan_rejects_mismatched_digests(self):
-        policy = PlacementPolicy({"a": ClassSpec(0.0, ("x",))})
+        policy = PlacementMap({"a": ClassSpec(0.0, ("x",))})
         with pytest.raises(ValueError):
             StripePlan(policy, [stripe_key(1, 0)],
                        np.zeros(2, dtype=np.uint64))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import build_das5
-from repro.fs import ClassSpec, MemFSS, PlacementPolicy
+from repro.fs import ClassSpec, MemFSS, PlacementMap
 from repro.store import StoreServer
 from repro.units import GB, MB
 from repro.workflows import (FileSpec, Task, Workflow, WorkflowEngine,
@@ -16,7 +16,7 @@ def make_fs(n_own=2, capacity=20 * GB, stripe_size=4 * MB):
     own = list(cluster.nodes)
     servers = {n.name: StoreServer(env, n, cluster.fabric, capacity=capacity)
                for n in own}
-    policy = PlacementPolicy(
+    policy = PlacementMap(
         {"own": ClassSpec(0.0, tuple(n.name for n in own))})
     fs = MemFSS(env, cluster.fabric, own, servers, policy,
                 stripe_size=stripe_size)
