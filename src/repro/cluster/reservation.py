@@ -254,11 +254,19 @@ class ReservationSystem:
     def offers(self) -> tuple[ScavengeOffer, ...]:
         return tuple(self._offers.values())
 
+    def _prune_revoked(self) -> None:
+        """Drop leases whose revocation has already fired.  The
+        with-notice and auto-expiry paths revoke through deferred
+        ``call_later`` callbacks that cannot remove inline, so dead
+        leases are reaped lazily wherever ``_leases`` is consulted —
+        otherwise long churn runs accumulate them forever."""
+        self._leases = [l for l in self._leases if not l.revoked.triggered]
+
     def withdraw_offer(self, node: Node, cause: Any = "withdrawn") -> None:
         self._offers.pop(node.name, None)
         for lease in [l for l in self._leases if l.node is node]:
             lease.revoke(cause)
-            self._leases.remove(lease)
+        self._prune_revoked()
 
     def lease(self, node: Node, memory: float, holder: str) -> ScavengeLease:
         """Claim up to the offered memory on *node*."""
@@ -280,7 +288,8 @@ class ReservationSystem:
         return lease
 
     def active_leases(self) -> tuple[ScavengeLease, ...]:
-        return tuple(l for l in self._leases if l.active)
+        self._prune_revoked()
+        return tuple(self._leases)
 
     def revoke_leases(self, node: Node, cause: Any = "pressure",
                       honor_notice: bool = False) -> int:
@@ -299,6 +308,6 @@ class ReservationSystem:
                     hit += 1
                 continue
             lease.revoke(cause)
-            self._leases.remove(lease)
             hit += 1
+        self._prune_revoked()
         return hit

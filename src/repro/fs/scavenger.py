@@ -320,8 +320,10 @@ class ScavengingManager:
            location (spilling down the new chain under the capacity
            guard),
         2. rewrite the file's membership snapshot to the new placement,
-        3. only then delete the copies stranded on nodes the chain left —
-           so a read always finds data wherever its metadata (old or new)
+        3. only then delete the copies stranded on nodes the chain left,
+           and only for stripes whose new copies **all landed** — a
+           dropped copy (capacity pressure) keeps the old holder, so a
+           read always finds data wherever its metadata (old or new)
            points it.
 
         *budget_bytes* is the per-call migration allowance (the repair
@@ -378,9 +380,13 @@ class ScavengingManager:
                 if set(old_chain) == set(new_chain):
                     continue
                 additions = [t for t in new_chain if t not in old_chain]
-                stale.extend((t, key) for t in old_chain
-                             if t not in new_chain)
+                departing = [t for t in old_chain if t not in new_chain]
                 if not additions:
+                    # The new chain shrank into a subset of the old: the
+                    # surviving holders already sit on the new placement,
+                    # so the extras are redundant (never the last copy).
+                    if new_chain:
+                        stale.extend((t, key) for t in departing)
                     continue
                 # Source: any live holder in the *recorded* rank chain
                 # (full walk — finds copies left by earlier spills too).
@@ -403,6 +409,7 @@ class ScavengingManager:
                     # repair daemon owns reconstruction, not the retune.
                     unsourced += 1
                     continue
+                landed = 0
                 for target in additions:
                     dest = target
                     if self.fs.capacity_guard and \
@@ -429,6 +436,13 @@ class ScavengingManager:
                     self.moved_keys.append((key, source, dest))
                     moved_bytes += nbytes
                     moved_stripes += 1
+                    landed += 1
+                # Old holders become deletable only once every required
+                # copy has landed; a dropped copy (capacity guard or a
+                # FULL put) keeps them alive so a read always finds the
+                # data — the next epoch / repair daemon finishes the move.
+                if landed == len(additions):
+                    stale.extend((t, key) for t in departing)
             # Phase 2: the snapshot flips to the new placement...
             meta.class_weights = dict(new_weights)
             meta.class_members = {c: list(m)

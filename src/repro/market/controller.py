@@ -78,6 +78,16 @@ class MarketController:
             raise ValueError("supply_target must be in (0, 1]")
         self.supply_target = float(supply_target)
         self.budget_bytes = budget_bytes
+        if retune and policy.alpha is None:
+            # with_fraction("own", α) on the retune path needs a
+            # fraction-targeted policy containing an "own" class;
+            # anything else would crash the controller process on the
+            # first non-idle epoch — reject it at construction instead.
+            raise ValueError(
+                "retune=True requires a fraction-targeted policy with an "
+                "'own' class (e.g. PlacementPolicy.own_victim(alpha)); "
+                f"got {policy!r} — pass retune=False to run this policy "
+                "without live α retuning")
         self.retune = retune
         self.victim_class = victim_class
         initial = policy.alpha

@@ -10,9 +10,10 @@ predictor both consume (Hydra's lesson — correlated reclaims are the
 failure mode to price in — shows up as the controller shrinking the
 victim share *before* the reclaim wave lands).
 
-Open-ended leases without market terms (``duration is None`` and zero
-notice — every lease predating the market) are priced at full value, so
-legacy deployments see byte-identical admission decisions.
+Open-ended leases (``duration is None`` — every lease predating the
+market, with or without a notice term) are priced at full value, so
+legacy deployments see byte-identical admission decisions and adding
+notice to a lease can never lower its price.
 """
 
 from __future__ import annotations
@@ -44,20 +45,22 @@ def lease_discount(lease: ScavengeLease, now: float, *,
       to 0 at expiry, and is further scaled by ``notice /
       short_notice`` (capped at 1) — short-notice reclaims leave no
       time to drain.
-    - An open-ended, zero-notice lease (the legacy kind) is priced at
-      full value.
+    - An open-ended lease is priced at full value whatever its notice
+      term: the zero-notice legacy kind already prices at 1.0, and
+      added notice only makes revocation *safer*, so it must never pull
+      a lease below that floor (the notice scaling applies to termed
+      leases only).
     """
     if not lease.active or lease.notified.triggered:
         return 0.0
-    if lease.expires_at is None and lease.notice == 0.0:
+    if lease.expires_at is None:
         return 1.0
+    remaining = lease.expires_at - now
+    if remaining <= 0.0:
+        return 0.0
     d = 1.0
-    if lease.expires_at is not None:
-        remaining = lease.expires_at - now
-        if remaining <= 0.0:
-            return 0.0
-        if horizon > 0.0:
-            d *= min(1.0, remaining / horizon)
+    if horizon > 0.0:
+        d = min(1.0, remaining / horizon)
     if short_notice > 0.0:
         d *= min(1.0, lease.notice / short_notice)
     return d

@@ -77,6 +77,27 @@ class MetricsRegistry:
         return out
 
 
+class _WeightFitProbe:
+    """Scenario-reset adapter for the weight-fit memo.
+
+    Zeroing ``fit_hits``/``fit_misses`` while the fit cache survives
+    would make the counters process-warmth-dependent — a warm process
+    reports hits where a cold one reports misses for the same scenario,
+    breaking the determinism contract above.  So the scenario reset
+    drops the cache along with the counters; the memo still pays for
+    itself *within* a scenario, which is the market controller's
+    per-epoch retune hot path it exists for.
+    """
+
+    def reset(self) -> None:
+        from ..hashing.weights import clear_weight_fit_cache
+        clear_weight_fit_cache()
+
+    def snapshot(self) -> dict:
+        from ..hashing.weights import weight_fit_stats
+        return weight_fit_stats.snapshot()
+
+
 def _default_registry() -> MetricsRegistry:
     # Local imports: this module is imported by repro.metrics, which
     # sits above every subsystem it aggregates.
@@ -84,7 +105,6 @@ def _default_registry() -> MetricsRegistry:
     from ..faults.stats import fault_stats
     from ..fs.capacity import pressure_stats
     from ..fs.placement import planner_stats
-    from ..hashing.weights import weight_fit_stats
     from ..market.stats import market_stats
     from ..sim.flownet import flownet_stats
 
@@ -93,7 +113,7 @@ def _default_registry() -> MetricsRegistry:
     registry.register("faults", fault_stats)
     registry.register("planner", planner_stats)
     registry.register("solver", flownet_stats)
-    registry.register("weight_fit", weight_fit_stats)
+    registry.register("weight_fit", _WeightFitProbe())
     registry.register("market", market_stats)
     registry.register("exec", exec_stats, group="executor")
     return registry

@@ -113,6 +113,32 @@ class TestScavengeQueue:
         assert not lease.active
         assert cluster.reservations.offers() == ()
 
+    def test_noticed_revoke_pruned_after_deadline(self, cluster):
+        # The with-notice path revokes through a deferred call_later;
+        # the dead lease must still leave _leases, not pile up forever.
+        res = cluster.reservations.reserve("t", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB, notice=3.0)
+        lease = cluster.reservations.lease(node, 8 * GB, holder="memfss")
+        n = cluster.reservations.revoke_leases(node, honor_notice=True)
+        assert n == 1
+        assert cluster.reservations.active_leases() == (lease,)  # draining
+        cluster.env.run(until=3.1)
+        assert lease.revoked.triggered
+        assert cluster.reservations.active_leases() == ()
+        assert cluster.reservations._leases == []
+
+    def test_expired_termed_lease_pruned(self, cluster):
+        res = cluster.reservations.reserve("t", 1)
+        node = res.nodes[0]
+        cluster.reservations.register_offer(node, 10 * GB, duration=5.0,
+                                            notice=1.0)
+        lease = cluster.reservations.lease(node, 8 * GB, holder="memfss")
+        cluster.env.run(until=6.0)
+        assert lease.revoked.triggered
+        assert cluster.reservations.active_leases() == ()
+        assert cluster.reservations._leases == []
+
 
 class TestContainer:
     def test_memory_cap_enforced(self, cluster):

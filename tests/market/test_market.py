@@ -3,9 +3,12 @@ epoch controller, and the plan-diff rebalance."""
 
 import pytest
 
-from repro.core import DeploymentConfig, MemFSSDeployment
+from repro.core import (ClassTarget, DeploymentConfig, MemFSSDeployment,
+                        PlacementPolicy)
+from repro.fs import pressure_stats
 from repro.market import (MarketBook, MarketController, lease_discount,
                           market_spec, market_stats, run_market)
+from repro.store import StoreError, StoreErrorCode
 from repro.units import MB
 
 
@@ -60,6 +63,20 @@ class TestRiskPricing:
         termed = res.lease(node, 32 * MB, holder="test")
         assert lease_discount(termed, dep.env.now, horizon=30.0,
                               short_notice=2.0) == pytest.approx(0.5)
+
+    def test_open_ended_notice_never_priced_below_legacy(self):
+        # Monotonicity: some notice is strictly safer than none, so an
+        # open-ended lease with a short notice term must keep the legacy
+        # full-value pricing, not drop below the zero-notice kind.
+        dep = small_deployment()
+        res = dep.cluster.reservations
+        node = dep.victims[2]
+        dep.manager.leases[node.name].revoke("make room")
+        dep.manager.leases.pop(node.name)
+        res.register_offer(node, 32 * MB, notice=1.0)   # open-ended
+        noticed = res.lease(node, 32 * MB, holder="test")
+        assert lease_discount(noticed, dep.env.now,
+                              short_notice=2.0) == 1.0
 
 
 class TestNoticeSemantics:
@@ -206,6 +223,28 @@ class TestController:
         assert node.name in dep.fs.policy.classes["victim"].nodes
         assert market_stats.leases_granted >= 1
 
+    def test_retune_requires_fraction_policy_with_own(self):
+        # with_fraction("own", α) on the retune path would crash on the
+        # first non-idle epoch for weight-targeted policies (or fraction
+        # policies without an "own" class) — rejected at construction.
+        dep = small_deployment()
+        weighted = PlacementPolicy.make(
+            {"own": ClassTarget(weight=0.0),
+             "victim": ClassTarget(weight=5.0)})
+        with pytest.raises(ValueError, match="retune"):
+            MarketController(dep.env, dep.fs, dep.manager,
+                             dep.cluster.reservations, weighted)
+        no_own = PlacementPolicy.make({"hot": 0.5, "cold": 0.5})
+        with pytest.raises(ValueError, match="retune"):
+            MarketController(dep.env, dep.fs, dep.manager,
+                             dep.cluster.reservations, no_own)
+        # retune=False runs any policy (α pinned to the floor).
+        ctl = MarketController(dep.env, dep.fs, dep.manager,
+                               dep.cluster.reservations, weighted,
+                               retune=False)
+        assert ctl.alpha == ctl.alpha_floor
+        assert ctl.target_alpha() == ctl.alpha
+
     def test_offer_for_draining_node_stays_pending(self):
         dep = small_deployment(n_victim=3)
         env = dep.env
@@ -308,6 +347,57 @@ class TestRebalance:
         # whole file (12 MB) past the 8 MB allowance.
         assert summaries[0]["moved_bytes"] <= 20 * MB
 
+    def test_dropped_copies_never_orphan_the_last_replica(self):
+        """A retune whose copies cannot land anywhere (cluster at
+        capacity) must keep the old-chain holders — deleting them after
+        a failed copy loses the only replica (REVIEW high finding)."""
+        dep = MemFSSDeployment(DeploymentConfig(
+            n_own=2, n_victim=4, victim_memory=64 * MB,
+            own_store_capacity=40 * MB, stripe_size=4 * MB,
+            seed=21).with_alpha(0.25))
+        env = dep.env
+        agent = dep.own[0]
+        payloads = {}
+
+        def writer():
+            # Fill until a stripe no longer fits anywhere: every store
+            # is then below the admission threshold for one stripe.
+            for i in range(200):
+                payload = bytes([(i % 250) + 1]) * (4 * MB)
+                try:
+                    yield from dep.fs.write_file(agent, f"/f{i}",
+                                                 payload=payload)
+                except StoreError as exc:
+                    assert exc.code is StoreErrorCode.FULL
+                    break
+                payloads[f"/f{i}"] = payload
+        env.process(writer())
+        env.run()
+        assert payloads
+
+        pressure_stats.reset()
+        new_map = dep.fs.policy.reweighted(
+            dep.placement_policy.with_fraction("own", 0.99).weights())
+        summaries = []
+
+        def retune():
+            summaries.append((yield from dep.manager.rebalance(new_map)))
+        env.process(retune())
+        env.run()
+        assert pressure_stats.evac_drops > 0     # the failure path ran
+
+        # Every fully written file still reads back byte-identical
+        # through the flipped metadata (full rank-chain walk).
+        got = {}
+
+        def reader():
+            for path in sorted(payloads):
+                _, data = yield from dep.fs.read_file(agent, path)
+                got[path] = data
+        env.process(reader())
+        env.run()
+        assert got == payloads
+
     def test_noop_rebalance_moves_nothing(self):
         dep = small_deployment(seed=13)
         env = dep.env
@@ -368,6 +458,22 @@ class TestMetricsRegistry:
         assert "market" in snap
         assert "pressure" in snap
         assert "exec" in snap
+
+    def test_scenario_reset_clears_weight_fit_cache(self):
+        # Determinism contract: identical counters whether a scenario
+        # runs first in a process or fiftieth — so the scenario reset
+        # must drop the fit memo, not just zero the hit/miss counters.
+        from repro.hashing import calibrate_weights, weight_fit_stats
+        from repro.metrics import metrics_registry
+        fracs = {"own": 0.5, "victim": 0.3, "cold": 0.2}
+        calibrate_weights(fracs)             # warm the memo
+        metrics_registry.reset()
+        calibrate_weights(fracs)
+        assert weight_fit_stats.fit_misses == 1   # cold again
+        assert weight_fit_stats.fit_hits == 0
+        calibrate_weights(fracs)
+        assert weight_fit_stats.fit_hits == 1     # memo works in-scenario
+        metrics_registry.reset()
 
     def test_register_replaces(self):
         from repro.metrics.registry import MetricsRegistry
